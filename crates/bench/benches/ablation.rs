@@ -1,0 +1,75 @@
+//! Ablation benches for the design choices DESIGN.md calls out: how much
+//! origin traffic each mitigation removes (the §VI-C options), and the
+//! cost of cache-busting versus cache hits. Criterion measures the work
+//! the simulation performs, which is dominated by the bytes moved — so
+//! lower time = less amplified traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rangeamp::attack::SbrAttack;
+use rangeamp::mitigation::Defense;
+use rangeamp::{Testbed, TARGET_PATH};
+use rangeamp_cdn::Vendor;
+use rangeamp_http::Request;
+
+const MB: u64 = 1024 * 1024;
+
+fn bench_sbr_under_defenses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sbr_defense_ablation");
+    group.sample_size(20);
+    for defense in Defense::ALL {
+        let profile = Vendor::Akamai.profile().with_mitigation(defense.config());
+        let bed = Testbed::builder()
+            .profile(profile.clone())
+            .resource(TARGET_PATH, 5 * MB)
+            .build();
+        let attack = SbrAttack::new(Vendor::Akamai, 5 * MB).with_profile(profile);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(defense.name().replace(' ', "_")),
+            &attack,
+            |b, attack| {
+                let mut round = 0u64;
+                b.iter(|| {
+                    round += 1;
+                    black_box(attack.run_on(&bed, round))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cache_hit_vs_miss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_bust_ablation");
+    group.sample_size(20);
+    let bed = Testbed::builder()
+        .vendor(Vendor::Akamai)
+        .resource(TARGET_PATH, MB)
+        .build();
+    // Warm the cache once with a fixed URL.
+    let warm = Request::get(&format!("{TARGET_PATH}?fixed=1"))
+        .header("Host", "victim.example")
+        .header("Range", "bytes=0-0")
+        .build();
+    bed.request(&warm);
+
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| black_box(bed.request(&warm)));
+    });
+    group.bench_function("cache_miss_busted", |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            let req = Request::get(&format!("{TARGET_PATH}?rnd={round}"))
+                .header("Host", "victim.example")
+                .header("Range", "bytes=0-0")
+                .build();
+            black_box(bed.request(&req))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sbr_under_defenses, bench_cache_hit_vs_miss);
+criterion_main!(benches);

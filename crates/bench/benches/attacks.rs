@@ -1,0 +1,89 @@
+//! End-to-end attack benchmarks: one full SBR round per vendor (Table IV
+//! cell) and one full OBR round per cascade (Table V row), plus the
+//! max-n solver. Wall-clock here is simulation cost, not attack cost —
+//! but the relative weight across vendors mirrors how much traffic each
+//! behaviour moves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use rangeamp::attack::{ObrAttack, SbrAttack};
+use rangeamp::{Testbed, TARGET_PATH};
+use rangeamp_cdn::Vendor;
+
+const MB: u64 = 1024 * 1024;
+
+fn bench_sbr_per_vendor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sbr_round_1mb");
+    group.sample_size(20);
+    for vendor in Vendor::ALL {
+        let bed = Testbed::builder()
+            .vendor(vendor)
+            .resource(TARGET_PATH, MB)
+            .build();
+        let attack = SbrAttack::new(vendor, MB);
+        group.throughput(Throughput::Bytes(MB));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(vendor.name()),
+            &attack,
+            |b, attack| {
+                let mut round = 0u64;
+                b.iter(|| {
+                    round += 1;
+                    black_box(attack.run_on(&bed, round))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sbr_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sbr_size_sweep_akamai");
+    group.sample_size(10);
+    for size_mb in [1u64, 5, 10, 25] {
+        let bed = Testbed::builder()
+            .vendor(Vendor::Akamai)
+            .resource(TARGET_PATH, size_mb * MB)
+            .build();
+        let attack = SbrAttack::new(Vendor::Akamai, size_mb * MB);
+        group.throughput(Throughput::Bytes(size_mb * MB));
+        group.bench_with_input(BenchmarkId::from_parameter(size_mb), &attack, |b, attack| {
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                black_box(attack.run_on(&bed, round))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_obr_n_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obr_cloudflare_akamai");
+    group.sample_size(10);
+    for n in [64usize, 1024, 10_750] {
+        let attack = ObrAttack::new(Vendor::Cloudflare, Vendor::Akamai).overlapping_ranges(n);
+        group.throughput(Throughput::Bytes((n as u64) * 1024));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &attack, |b, attack| {
+            b.iter(|| black_box(attack.run()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_max_n_solver(c: &mut Criterion) {
+    c.bench_function("max_n_solver", |b| {
+        let attack = ObrAttack::new(Vendor::Cloudflare, Vendor::Akamai);
+        b.iter(|| black_box(attack.max_n()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sbr_per_vendor,
+    bench_sbr_size_sweep,
+    bench_obr_n_sweep,
+    bench_max_n_solver
+);
+criterion_main!(benches);

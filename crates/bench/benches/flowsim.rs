@@ -1,0 +1,42 @@
+//! Benchmarks for the flow-level bandwidth simulator (the Fig 7
+//! substrate): scaling in the number of concurrent flows and in the
+//! simulated horizon.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rangeamp::attack::FloodExperiment;
+use rangeamp_net::FlowSim;
+
+fn bench_max_min_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flowsim_flows");
+    group.sample_size(10);
+    for flows in [10usize, 100, 450] {
+        group.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, &flows| {
+            b.iter(|| {
+                let mut sim = FlowSim::new(20);
+                let link = sim.add_link("uplink", 1000.0);
+                for i in 0..flows {
+                    sim.schedule_flow((i as u64 % 30) * 1000, 10 * 1024 * 1024, &[link]);
+                }
+                sim.run_until_millis(black_box(40_000));
+                sim.link_throughput_mbps(link)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig7_single_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    for m in [1u32, 8, 15] {
+        group.bench_with_input(BenchmarkId::new("m", m), &m, |b, &m| {
+            b.iter(|| black_box(FloodExperiment::paper_config(m).run()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_max_min_scaling, bench_fig7_single_run);
+criterion_main!(benches);

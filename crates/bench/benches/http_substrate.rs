@@ -1,0 +1,93 @@
+//! Micro-benchmarks for the HTTP substrate: `Range` grammar parsing,
+//! multipart/byteranges assembly, and wire-format round-trips. These are
+//! the hot paths of every experiment (each SBR run serializes multi-MB
+//! responses; each OBR run parses 30 KB `Range` headers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use rangeamp_http::multipart::MultipartBuilder;
+use rangeamp_http::range::{coalesce, RangeHeader, ResolvedRange};
+use rangeamp_http::{wire, Body, Request, Response, StatusCode};
+
+fn bench_range_parsing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_parse");
+    for n in [1usize, 64, 1024, 10_750] {
+        let header = RangeHeader::overlapping(n).to_string();
+        group.throughput(Throughput::Bytes(header.len() as u64));
+        group.bench_with_input(BenchmarkId::new("overlapping", n), &header, |b, header| {
+            b.iter(|| RangeHeader::parse(black_box(header)).expect("valid"));
+        });
+    }
+    group.bench_function("single_small", |b| {
+        b.iter(|| RangeHeader::parse(black_box("bytes=0-0")).expect("valid"));
+    });
+    group.finish();
+}
+
+fn bench_coalesce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coalesce");
+    for n in [64usize, 1024, 10_750] {
+        let ranges: Vec<ResolvedRange> =
+            vec![ResolvedRange { first: 0, last: 1023 }; n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ranges, |b, ranges| {
+            b.iter(|| coalesce(black_box(ranges)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_multipart_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multipart_build");
+    let body = Body::from(vec![0u8; 1024]);
+    for n in [4usize, 64, 1024] {
+        group.throughput(Throughput::Bytes((n * 1024) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut builder = MultipartBuilder::new("application/octet-stream", 1024);
+                for _ in 0..n {
+                    builder = builder.part(
+                        ResolvedRange { first: 0, last: 1023 },
+                        black_box(body.clone()),
+                    );
+                }
+                builder.build()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let req = Request::get("/10MB.bin?rnd=0123456789abcdef")
+        .header("Host", "victim.example")
+        .header("Range", "bytes=0-0")
+        .build();
+    let req_bytes = req.to_wire_bytes();
+    group.bench_function("encode_request", |b| {
+        b.iter(|| black_box(&req).to_wire_bytes());
+    });
+    group.bench_function("decode_request", |b| {
+        b.iter(|| wire::decode_request(black_box(&req_bytes)).expect("valid"));
+    });
+
+    let resp = Response::builder(StatusCode::OK)
+        .header("Content-Type", "application/octet-stream")
+        .sized_body(vec![0u8; 1024 * 1024])
+        .build();
+    group.throughput(Throughput::Bytes(resp.wire_len()));
+    group.bench_function("encode_response_1mb", |b| {
+        b.iter(|| black_box(&resp).to_wire_bytes());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_range_parsing,
+    bench_coalesce,
+    bench_multipart_build,
+    bench_wire_round_trip
+);
+criterion_main!(benches);

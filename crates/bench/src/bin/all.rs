@@ -1,0 +1,70 @@
+//! Runs every experiment (Tables I–V, Fig 6, Fig 7) and writes
+//! machine-readable JSON into `experiments/` beside the printed tables.
+//!
+//! ```text
+//! cargo run -p rangeamp-bench --release --bin all
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+fn write_json<T: serde::Serialize>(dir: &Path, name: &str, value: &T) {
+    let path = dir.join(name);
+    let json = serde_json::to_string_pretty(value).expect("serializable");
+    fs::write(&path, json).expect("experiments dir is writable");
+    eprintln!("wrote {}", path.display());
+}
+
+fn main() {
+    let dir = Path::new("experiments");
+    fs::create_dir_all(dir).expect("can create experiments dir");
+
+    eprintln!("== scanner (Tables I–III) ==");
+    let scanner = rangeamp_bench::scanner();
+    let t1 = scanner.scan_table1();
+    let t2 = scanner.scan_table2();
+    let t3 = scanner.scan_table3();
+    println!("{}", rangeamp_bench::render_table1(&t1));
+    println!("{}", rangeamp_bench::render_table2(&t2));
+    println!("{}", rangeamp_bench::render_table3(&t3));
+    write_json(dir, "table1.json", &t1);
+    write_json(dir, "table2.json", &t2);
+    write_json(dir, "table3.json", &t3);
+
+    eprintln!("== SBR (Table IV + Fig 6) ==");
+    let sizes: Vec<u64> = (1..=25).collect();
+    let points = rangeamp_bench::sbr_points(&sizes);
+    println!("{}", rangeamp_bench::render_table4(&points));
+    write_json(dir, "fig6_sbr_sweep.json", &points);
+
+    eprintln!("== OBR (Table V) ==");
+    let obr = rangeamp_bench::table5_measurements();
+    println!("{}", rangeamp_bench::render_table5(&obr));
+    write_json(dir, "table5.json", &obr);
+
+    eprintln!("== Flood (Fig 7) ==");
+    let fig7 = rangeamp_bench::fig7_reports();
+    println!("{}", rangeamp_bench::render_fig7_summary(&fig7));
+    write_json(dir, "fig7.json", &fig7);
+
+    eprintln!("== Dropped-GET comparison (§VIII) ==");
+    let dropped = rangeamp::attack::compare_with_sbr(10 * 1024 * 1024);
+    write_json(dir, "dropped_get.json", &dropped);
+
+    eprintln!("== HTTP/2 applicability (§VI-B) ==");
+    let h2: Vec<_> = rangeamp_cdn::Vendor::ALL
+        .iter()
+        .map(|&vendor| {
+            let report =
+                rangeamp::attack::SbrAttack::new(vendor, 10 * 1024 * 1024).run();
+            serde_json::json!({
+                "vendor": vendor.name(),
+                "factor_h1": report.amplification_factor(),
+                "factor_h2": report.amplification_factor_h2(),
+            })
+        })
+        .collect();
+    write_json(dir, "h2_check.json", &h2);
+
+    eprintln!("all experiments complete; JSON in {}", dir.display());
+}

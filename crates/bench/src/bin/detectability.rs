@@ -1,0 +1,39 @@
+//! Detectability analysis (paper §VI-C, server side): sweeps a naive
+//! tiny-range detector's threshold over a mixed benign + SBR stream and
+//! prints the true/false positive trade-off — quantifying why "it is
+//! difficult for the origin server to defend against it effectively
+//! without affecting normal services".
+//!
+//! ```text
+//! cargo run -p rangeamp-bench --release --bin detectability
+//! ```
+
+use rangeamp::report::TextTable;
+use rangeamp::workload::{evaluate_detector, TinyRangeDetector, WorkloadGenerator};
+
+fn main() {
+    const MB: u64 = 1024 * 1024;
+    let size = 10 * MB;
+    let mut generator = WorkloadGenerator::new(2020, size);
+    let stream = generator.mixed_stream(2_000, 2_000);
+
+    let mut table = TextTable::new(
+        "Tiny-range detector at the origin — mixed stream of 2000 benign + 2000 SBR requests (10 MB resource)",
+        &["threshold (bytes)", "attack detection rate", "benign false-positive rate"],
+    );
+    for threshold in [1u64, 16, 64, 256, 1024, 65_536] {
+        let report = evaluate_detector(TinyRangeDetector { tiny_threshold: threshold }, &stream, size);
+        table.row(vec![
+            threshold.to_string(),
+            format!("{:.1}%", report.true_positive_rate * 100.0),
+            format!("{:.1}%", report.false_positive_rate * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Catching the attack (tiny thresholds) also flags media-player probe \
+         requests; raising the threshold to spare them lets the attacker simply \
+         request larger-but-still-small ranges. The distributed egress sources \
+         (see `mitigation` bin) close the remaining avenue — §VI-C's conclusion."
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table I: range forwarding behaviours vulnerable to the
+//! SBR attack, derived by the vulnerability scanner.
+//!
+//! ```text
+//! cargo run -p rangeamp-bench --release --bin table1
+//! ```
+
+fn main() {
+    let rows = rangeamp_bench::scanner().scan_table1();
+    println!("{}", rangeamp_bench::render_table1(&rows));
+    println!(
+        "{} vulnerable (vendor, format) rows across {} vendors — the paper finds all 13 CDNs vulnerable.",
+        rows.len(),
+        rows.iter().map(|r| r.vendor.clone()).collect::<std::collections::BTreeSet<_>>().len(),
+    );
+}

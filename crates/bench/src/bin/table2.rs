@@ -1,0 +1,12 @@
+//! Regenerates Table II: multi-range forwarding behaviours vulnerable to
+//! the OBR attack (FCDN eligibility), derived by the scanner.
+//!
+//! ```text
+//! cargo run -p rangeamp-bench --release --bin table2
+//! ```
+
+fn main() {
+    let rows = rangeamp_bench::scanner().scan_table2();
+    println!("{}", rangeamp_bench::render_table2(&rows));
+    println!("{} FCDN-eligible vendors — the paper finds 4 (CDN77, CDNsun, Cloudflare, StackPath).", rows.len());
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table III: multi-range replying behaviours vulnerable to
+//! the OBR attack (BCDN eligibility), derived by the scanner.
+//!
+//! ```text
+//! cargo run -p rangeamp-bench --release --bin table3
+//! ```
+
+fn main() {
+    let rows = rangeamp_bench::scanner().scan_table3();
+    println!("{}", rangeamp_bench::render_table3(&rows));
+    println!("{} BCDN-eligible vendors — the paper finds 3 (Akamai, Azure, StackPath).", rows.len());
+}

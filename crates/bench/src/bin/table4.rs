@@ -1,0 +1,11 @@
+//! Regenerates Table IV: SBR amplification factors at 1, 10 and 25 MB
+//! for every vendor, printed beside the paper's published values.
+//!
+//! ```text
+//! cargo run -p rangeamp-bench --release --bin table4
+//! ```
+
+fn main() {
+    let points = rangeamp_bench::sbr_points(&[1, 10, 25]);
+    println!("{}", rangeamp_bench::render_table4(&points));
+}

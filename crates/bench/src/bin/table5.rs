@@ -1,0 +1,11 @@
+//! Regenerates Table V: the maximum OBR amplification factor for each of
+//! the 11 cascaded CDN combinations, with the solver-derived max n.
+//!
+//! ```text
+//! cargo run -p rangeamp-bench --release --bin table5
+//! ```
+
+fn main() {
+    let measurements = rangeamp_bench::table5_measurements();
+    println!("{}", rangeamp_bench::render_table5(&measurements));
+}

@@ -1,0 +1,249 @@
+//! Experiment drivers for the RangeAmp benchmark harness.
+//!
+//! Each paper table/figure has a driver function here and a binary under
+//! `src/bin/` that prints it (`cargo run -p rangeamp-bench --release
+//! --bin table4`, etc.). The drivers are also reused by the Criterion
+//! benches and by the `all` binary, which writes machine-readable JSON
+//! into `experiments/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+
+use rangeamp::attack::{
+    obr_combos, FloodExperiment, FloodReport, ObrAttack, ObrMeasurement, SbrAttack,
+};
+use rangeamp::report::TextTable;
+use rangeamp::scanner::{Scanner, Table1Row, Table2Row, Table3Row};
+use rangeamp::{Testbed, TARGET_PATH};
+use rangeamp_cdn::Vendor;
+use rangeamp_origin::ResourceStore;
+use serde::Serialize;
+
+/// One MiB.
+pub const MB: u64 = 1024 * 1024;
+
+/// One Table IV / Fig 6 data point.
+#[derive(Debug, Clone, Serialize)]
+pub struct SbrPoint {
+    /// Vendor name.
+    pub vendor: String,
+    /// Exploited range case description.
+    pub exploited_case: String,
+    /// Target resource size in bytes.
+    pub file_size: u64,
+    /// Response bytes the attacker received (Fig 6b).
+    pub client_bytes: u64,
+    /// Response bytes the origin sent (Fig 6c).
+    pub origin_bytes: u64,
+    /// Amplification factor (Fig 6a / Table IV).
+    pub amplification_factor: f64,
+}
+
+/// Runs the SBR attack for every vendor at the given sizes (Table IV
+/// uses {1, 10, 25} MB; Fig 6 sweeps 1..=25 MB).
+pub fn sbr_points(sizes_mb: &[u64]) -> Vec<SbrPoint> {
+    let mut points = Vec::new();
+    for &size_mb in sizes_mb {
+        let size = size_mb * MB;
+        // Share the synthetic resource across the 13 vendor testbeds.
+        let mut store = ResourceStore::new();
+        store.add_synthetic(TARGET_PATH, size, "application/octet-stream");
+        for vendor in Vendor::ALL {
+            let attack = SbrAttack::new(vendor, size);
+            let bed = Testbed::builder().vendor(vendor).store(store.clone()).build();
+            let report = attack.run_on(&bed, size_mb);
+            points.push(SbrPoint {
+                vendor: vendor.name().to_string(),
+                exploited_case: report.exploited_case.clone(),
+                file_size: size,
+                client_bytes: report.traffic.attacker_response_bytes,
+                origin_bytes: report.traffic.victim_response_bytes,
+                amplification_factor: report.amplification_factor(),
+            });
+        }
+    }
+    points
+}
+
+/// Renders Table IV (amplification factors at 1/10/25 MB) with the
+/// paper's values alongside.
+pub fn render_table4(points: &[SbrPoint]) -> TextTable {
+    let mut table = TextTable::new(
+        "Table IV — SBR amplification factor by target resource size (measured vs paper)",
+        &["CDN", "Exploited Range Case", "1MB", "paper", "10MB", "paper", "25MB", "paper"],
+    );
+    for vendor in Vendor::ALL {
+        let factor = |size_mb: u64| -> (String, String) {
+            let point = points
+                .iter()
+                .find(|p| p.vendor == vendor.name() && p.file_size == size_mb * MB);
+            let measured = point
+                .map(|p| format!("{:.0}", p.amplification_factor))
+                .unwrap_or_else(|| "-".to_string());
+            let paper = paper::table4_factor(vendor, size_mb)
+                .map(|f| f.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            (measured, paper)
+        };
+        let mut cases: Vec<String> = points
+            .iter()
+            .filter(|p| p.vendor == vendor.name())
+            .map(|p| p.exploited_case.clone())
+            .collect();
+        cases.dedup();
+        let case = cases.join(" / ");
+        let (m1, p1) = factor(1);
+        let (m10, p10) = factor(10);
+        let (m25, p25) = factor(25);
+        table.row(vec![vendor.name().to_string(), case, m1, p1, m10, p10, m25, p25]);
+    }
+    table
+}
+
+/// Runs the Table V experiment: OBR with max n over all 11 combos.
+pub fn table5_measurements() -> Vec<ObrMeasurement> {
+    obr_combos()
+        .into_iter()
+        .map(|(fcdn, bcdn)| ObrAttack::new(fcdn, bcdn).run())
+        .collect()
+}
+
+/// Renders Table V with the paper's values alongside.
+pub fn render_table5(measurements: &[ObrMeasurement]) -> TextTable {
+    let mut table = TextTable::new(
+        "Table V — OBR max amplification per cascaded combination (1 KB resource)",
+        &[
+            "FCDN",
+            "BCDN",
+            "Exploited Range Case",
+            "Max n",
+            "n paper",
+            "Server→BCDN",
+            "BCDN→FCDN",
+            "Factor",
+            "Factor paper",
+        ],
+    );
+    for m in measurements {
+        let (paper_n, paper_factor) = paper::table5_reference(&m.fcdn, &m.bcdn)
+            .map(|(n, f)| (n.to_string(), format!("{f:.2}")))
+            .unwrap_or_else(|| ("-".to_string(), "-".to_string()));
+        table.row(vec![
+            m.fcdn.clone(),
+            m.bcdn.clone(),
+            m.exploited_case.clone(),
+            m.n.to_string(),
+            paper_n,
+            format!("{}B", m.server_to_bcdn_bytes),
+            format!("{}B", m.bcdn_to_fcdn_bytes),
+            format!("{:.2}", m.amplification_factor()),
+            paper_factor,
+        ]);
+    }
+    table
+}
+
+/// Runs Fig 7 for m = 1..=15.
+pub fn fig7_reports() -> Vec<FloodReport> {
+    (1..=15).map(|m| FloodExperiment::paper_config(m).run()).collect()
+}
+
+/// Renders the Fig 7 summary (steady origin outgoing bandwidth per m).
+pub fn render_fig7_summary(reports: &[FloodReport]) -> TextTable {
+    let mut table = TextTable::new(
+        "Fig 7 — bandwidth consumption vs attack rate m (10 MB resource, 1000 Mbps uplink, 30 s)",
+        &["m (req/s)", "origin outgoing (steady, Mbps)", "client incoming peak (Kbps)"],
+    );
+    for report in reports {
+        table.row(vec![
+            report.requests_per_sec.to_string(),
+            format!("{:.1}", report.steady_origin_mbps()),
+            format!("{:.1}", report.peak_client_kbps()),
+        ]);
+    }
+    table
+}
+
+/// Renders scanner Table I.
+pub fn render_table1(rows: &[Table1Row]) -> TextTable {
+    let mut table = TextTable::new(
+        "Table I — range forwarding behaviours vulnerable to the SBR attack (scanner output)",
+        &["CDN", "Vulnerable Range Format", "Forwarded Range Format"],
+    );
+    for row in rows {
+        table.row(vec![
+            row.vendor.clone(),
+            row.vulnerable_format.clone(),
+            row.forwarded_format.clone(),
+        ]);
+    }
+    table
+}
+
+/// Renders scanner Table II.
+pub fn render_table2(rows: &[Table2Row]) -> TextTable {
+    let mut table = TextTable::new(
+        "Table II — range forwarding behaviours vulnerable to the OBR attack (FCDN eligibility)",
+        &["CDN", "Vulnerable Range Format", "Forwarded Range Format"],
+    );
+    for row in rows {
+        table.row(vec![
+            row.vendor.clone(),
+            row.vulnerable_format.clone(),
+            row.forwarded_format.clone(),
+        ]);
+    }
+    table
+}
+
+/// Renders scanner Table III.
+pub fn render_table3(rows: &[Table3Row]) -> TextTable {
+    let mut table = TextTable::new(
+        "Table III — range replying behaviours vulnerable to the OBR attack (BCDN eligibility)",
+        &["CDN", "Vulnerable Ranges Format", "Response Format"],
+    );
+    for row in rows {
+        table.row(vec![
+            row.vendor.clone(),
+            row.vulnerable_format.clone(),
+            row.response_format.clone(),
+        ]);
+    }
+    table
+}
+
+/// The default scanner used by the harness binaries.
+pub fn scanner() -> Scanner {
+    Scanner::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbr_points_cover_all_vendors() {
+        let points = sbr_points(&[1]);
+        assert_eq!(points.len(), 13);
+        for point in &points {
+            assert!(point.amplification_factor > 100.0, "{point:?}");
+        }
+    }
+
+    #[test]
+    fn table4_renders_13_rows() {
+        let points = sbr_points(&[1]);
+        let table = render_table4(&points);
+        assert_eq!(table.len(), 13);
+    }
+
+    #[test]
+    fn table5_has_11_rows() {
+        let measurements = table5_measurements();
+        assert_eq!(measurements.len(), 11);
+        let table = render_table5(&measurements);
+        assert_eq!(table.len(), 11);
+    }
+}

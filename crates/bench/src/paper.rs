@@ -1,0 +1,101 @@
+//! The paper's published numbers, embedded for side-by-side comparison.
+//!
+//! These constants are *reference data only* — nothing in the library or
+//! the experiments reads them to produce results; they exist so the
+//! harness binaries and EXPERIMENTS.md can print measured-vs-paper
+//! deltas.
+
+use rangeamp_cdn::Vendor;
+
+/// Table IV amplification factors (rows: vendor; columns: 1/10/25 MB).
+pub const TABLE4: [(&str, [u64; 3]); 13] = [
+    ("Akamai", [1707, 16991, 43093]),
+    ("Alibaba Cloud", [1056, 10498, 26241]),
+    ("Azure", [1401, 15016, 23481]),
+    ("CDN77", [1612, 15915, 40390]),
+    ("CDNsun", [1578, 15705, 38730]),
+    ("Cloudflare", [1282, 12791, 31836]),
+    ("CloudFront", [1356, 9214, 9281]),
+    ("Fastly", [1286, 12836, 31820]),
+    ("G-Core Labs", [1763, 17197, 43330]),
+    ("Huawei Cloud", [1465, 14631, 36335]),
+    ("KeyCDN", [724, 7117, 17744]),
+    ("StackPath", [1297, 13007, 32491]),
+    ("Tencent Cloud", [1308, 12997, 32438]),
+];
+
+/// Looks up the paper's Table IV factor for a vendor/size.
+pub fn table4_factor(vendor: Vendor, size_mb: u64) -> Option<u64> {
+    let column = match size_mb {
+        1 => 0,
+        10 => 1,
+        25 => 2,
+        _ => return None,
+    };
+    TABLE4
+        .iter()
+        .find(|(name, _)| *name == vendor.name())
+        .map(|(_, factors)| factors[column])
+}
+
+/// Table V reference values: (FCDN, BCDN, max n, amplification factor).
+pub const TABLE5: [(&str, &str, usize, f64); 11] = [
+    ("CDN77", "Akamai", 5455, 3789.35),
+    ("CDN77", "Azure", 64, 53.55),
+    ("CDN77", "StackPath", 5455, 3547.07),
+    ("CDNsun", "Akamai", 5456, 3781.51),
+    ("CDNsun", "Azure", 64, 52.15),
+    ("CDNsun", "StackPath", 5456, 3547.57),
+    ("Cloudflare", "Akamai", 10750, 7432.53),
+    ("Cloudflare", "Azure", 64, 52.71),
+    ("Cloudflare", "StackPath", 10750, 6513.69),
+    ("StackPath", "Akamai", 10801, 7471.41),
+    ("StackPath", "Azure", 64, 50.74),
+];
+
+/// Looks up the paper's Table V row for a cascade.
+pub fn table5_reference(fcdn: &str, bcdn: &str) -> Option<(usize, f64)> {
+    TABLE5
+        .iter()
+        .find(|(f, b, _, _)| *f == fcdn && *b == bcdn)
+        .map(|(_, _, n, factor)| (*n, *factor))
+}
+
+/// Fig 7 qualitative reference points (origin outgoing bandwidth is
+/// proportional to m below saturation, near line rate from m = 11, and
+/// fully exhausted from m = 14; client incoming stays under 500 Kbps).
+pub const FIG7_SATURATION_M: u32 = 11;
+/// The m at which the paper reports complete exhaustion.
+pub const FIG7_EXHAUSTION_M: u32 = 14;
+/// The paper's bound on attacker-side incoming bandwidth (Kbps).
+pub const FIG7_CLIENT_KBPS_BOUND: f64 = 500.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_lookup() {
+        assert_eq!(table4_factor(Vendor::Akamai, 25), Some(43093));
+        assert_eq!(table4_factor(Vendor::KeyCdn, 1), Some(724));
+        assert_eq!(table4_factor(Vendor::Akamai, 5), None);
+    }
+
+    #[test]
+    fn table4_covers_all_vendors() {
+        for vendor in Vendor::ALL {
+            assert!(table4_factor(vendor, 1).is_some(), "{vendor}");
+        }
+    }
+
+    #[test]
+    fn table5_lookup() {
+        assert_eq!(table5_reference("Cloudflare", "Akamai"), Some((10750, 7432.53)));
+        assert_eq!(table5_reference("StackPath", "StackPath"), None);
+    }
+
+    #[test]
+    fn table5_has_eleven_rows() {
+        assert_eq!(TABLE5.len(), 11);
+    }
+}

@@ -1,0 +1,392 @@
+//! Client-facing response assembly shared by the edge node and the vendor
+//! miss handlers.
+
+use rangeamp_http::multipart::MultipartBuilder;
+use rangeamp_http::range::{coalesce, ContentRange, RangeHeader, ResolvedRange};
+use rangeamp_http::{Body, Response, StatusCode};
+
+use crate::MultiReplyPolicy;
+
+/// Fixed edge-side `Date` header (virtual time ⇒ deterministic runs).
+pub(crate) const CDN_DATE: &str = "Thu, 02 Jan 2020 00:00:01 GMT";
+
+/// Representation metadata carried over from an upstream response.
+#[derive(Debug, Clone)]
+pub(crate) struct ReprMeta {
+    pub content_type: String,
+    pub etag: Option<String>,
+    pub last_modified: Option<String>,
+}
+
+impl ReprMeta {
+    pub(crate) fn of(resp: &Response) -> ReprMeta {
+        ReprMeta {
+            content_type: resp
+                .headers()
+                .get("content-type")
+                .unwrap_or("application/octet-stream")
+                .to_string(),
+            etag: resp.headers().get("etag").map(str::to_string),
+            last_modified: resp.headers().get("last-modified").map(str::to_string),
+        }
+    }
+
+    fn apply(&self, mut builder: rangeamp_http::ResponseBuilder) -> rangeamp_http::ResponseBuilder {
+        if let Some(etag) = &self.etag {
+            builder = builder.header("ETag", etag.clone());
+        }
+        if let Some(lm) = &self.last_modified {
+            builder = builder.header("Last-Modified", lm.clone());
+        }
+        builder
+    }
+
+    fn apply_owned(self, builder: rangeamp_http::ResponseBuilder) -> rangeamp_http::ResponseBuilder {
+        self.apply(builder)
+    }
+}
+
+/// A plain 200 carrying the complete representation.
+pub(crate) fn full_200(full_body: Body, meta: &ReprMeta) -> Response {
+    meta.apply(
+        Response::builder(StatusCode::OK)
+            .header("Date", CDN_DATE)
+            .header("Accept-Ranges", "bytes")
+            .header("Content-Type", meta.content_type.clone()),
+    )
+    .sized_body(full_body)
+    .build()
+}
+
+/// A single-part 206.
+pub(crate) fn single_206(
+    slice: Body,
+    range: ResolvedRange,
+    complete_length: u64,
+    meta: &ReprMeta,
+) -> Response {
+    let content_range = ContentRange::Satisfied { range, complete_length };
+    meta.apply(
+        Response::builder(StatusCode::PARTIAL_CONTENT)
+            .header("Date", CDN_DATE)
+            .header("Accept-Ranges", "bytes")
+            .header("Content-Range", content_range.to_string())
+            .header("Content-Type", meta.content_type.clone()),
+    )
+    .sized_body(slice)
+    .build()
+}
+
+/// A multipart/byteranges 206 with one part per given range, in order.
+pub(crate) fn multipart_206(
+    full_body: &Body,
+    ranges: &[ResolvedRange],
+    complete_length: u64,
+    meta: &ReprMeta,
+) -> Response {
+    let mut builder = MultipartBuilder::new(&meta.content_type, complete_length);
+    for range in ranges {
+        builder = builder.part(*range, full_body.slice(range.first, range.last + 1));
+    }
+    let content_type = builder.content_type_header();
+    meta.apply(
+        Response::builder(StatusCode::PARTIAL_CONTENT)
+            .header("Date", CDN_DATE)
+            .header("Accept-Ranges", "bytes")
+            .header("Content-Type", content_type),
+    )
+    .sized_body(builder.build())
+    .build()
+}
+
+/// A 416 with `Content-Range: bytes */len`.
+pub(crate) fn not_satisfiable(complete_length: u64) -> Response {
+    let content_range = ContentRange::Unsatisfied { complete_length };
+    Response::builder(StatusCode::RANGE_NOT_SATISFIABLE)
+        .header("Date", CDN_DATE)
+        .header("Content-Range", content_range.to_string())
+        .sized_body("range not satisfiable")
+        .build()
+}
+
+/// Serves the client's (possibly absent, possibly multi) range request
+/// from a complete representation, applying the given multi-range reply
+/// policy.
+pub(crate) fn serve_from_full(
+    range: Option<&RangeHeader>,
+    full: &Response,
+    multi_reply: MultiReplyPolicy,
+) -> Response {
+    let meta = ReprMeta::of(full);
+    let body = full.body();
+    let complete = body.len();
+
+    let Some(header) = range else {
+        return full_200(body.clone(), &meta);
+    };
+    let resolved = header.resolve(complete);
+    if resolved.is_empty() {
+        return not_satisfiable(complete);
+    }
+    if resolved.len() == 1 {
+        let r = resolved[0];
+        return single_206(body.slice(r.first, r.last + 1), r, complete, &meta);
+    }
+    match multi_reply {
+        MultiReplyPolicy::NPartNoOverlapCheck => {
+            multipart_206(body, &resolved, complete, &meta)
+        }
+        MultiReplyPolicy::Coalesce => {
+            let merged = coalesce(&resolved);
+            if merged.len() == 1 {
+                let r = merged[0];
+                single_206(body.slice(r.first, r.last + 1), r, complete, &meta)
+            } else {
+                multipart_206(body, &merged, complete, &meta)
+            }
+        }
+        MultiReplyPolicy::RejectOverlapping => {
+            let overlapping = resolved
+                .iter()
+                .enumerate()
+                .any(|(i, a)| resolved[i + 1..].iter().any(|b| a.overlaps(b)));
+            if overlapping {
+                not_satisfiable(complete)
+            } else {
+                multipart_206(body, &resolved, complete, &meta)
+            }
+        }
+        MultiReplyPolicy::Full200 => full_200(body.clone(), &meta),
+    }
+}
+
+/// Serves a (possibly multi) range request from an upstream *partial*
+/// (206 single-part) response whose `Content-Range` window covers the
+/// requested ranges — the Expansion outcome (CloudFront, Azure window,
+/// coalesced forwarding). Returns `None` when the window does not cover
+/// every satisfiable requested range, or the partial is not a single-part
+/// 206.
+pub(crate) fn serve_from_partial(
+    range: &RangeHeader,
+    partial: &Response,
+    multi_reply: MultiReplyPolicy,
+) -> Option<Response> {
+    let content_range = partial.headers().get("content-range")?;
+    let ContentRange::Satisfied { range: window, complete_length } =
+        ContentRange::parse(content_range).ok()?
+    else {
+        return None;
+    };
+    let resolved = range.resolve(complete_length);
+    if resolved.is_empty() {
+        return Some(not_satisfiable(complete_length));
+    }
+    if resolved
+        .iter()
+        .any(|r| r.first < window.first || r.last > window.last)
+    {
+        return None;
+    }
+    let meta = ReprMeta::of(partial);
+    let slice_of = |r: &ResolvedRange| -> Body {
+        let offset = r.first - window.first;
+        partial.body().slice(offset, offset + r.len())
+    };
+    if resolved.len() == 1 {
+        return Some(single_206(slice_of(&resolved[0]), resolved[0], complete_length, &meta));
+    }
+    let build_multipart = |ranges: &[ResolvedRange]| -> Response {
+        let mut builder = MultipartBuilder::new(&meta.content_type, complete_length);
+        for r in ranges {
+            builder = builder.part(*r, slice_of(r));
+        }
+        let content_type = builder.content_type_header();
+        meta.clone()
+            .apply_owned(
+                Response::builder(StatusCode::PARTIAL_CONTENT)
+                    .header("Date", CDN_DATE)
+                    .header("Accept-Ranges", "bytes")
+                    .header("Content-Type", content_type),
+            )
+            .sized_body(builder.build())
+            .build()
+    };
+    Some(match multi_reply {
+        MultiReplyPolicy::NPartNoOverlapCheck => build_multipart(&resolved),
+        MultiReplyPolicy::Coalesce => {
+            let merged = coalesce(&resolved);
+            if merged.len() == 1 {
+                single_206(slice_of(&merged[0]), merged[0], complete_length, &meta)
+            } else {
+                build_multipart(&merged)
+            }
+        }
+        MultiReplyPolicy::RejectOverlapping => {
+            let overlapping = resolved
+                .iter()
+                .enumerate()
+                .any(|(i, a)| resolved[i + 1..].iter().any(|b| a.overlaps(b)));
+            if overlapping {
+                not_satisfiable(complete_length)
+            } else {
+                build_multipart(&resolved)
+            }
+        }
+        MultiReplyPolicy::Full200 => return None,
+    })
+}
+
+/// Serves a single requested range from an upstream *partial* (206)
+/// response, used by the Expansion paths (CloudFront, Azure window,
+/// capped-expansion mitigation). Returns `None` when the upstream part
+/// does not cover the requested range.
+pub(crate) fn slice_single_from_partial(
+    requested: ResolvedRange,
+    partial: &Response,
+) -> Option<Response> {
+    let content_range = partial.headers().get("content-range")?;
+    let ContentRange::Satisfied { range: window, complete_length } =
+        ContentRange::parse(content_range).ok()?
+    else {
+        return None;
+    };
+    if requested.first < window.first || requested.last > window.last {
+        return None;
+    }
+    let offset = requested.first - window.first;
+    let slice = partial
+        .body()
+        .slice(offset, offset + requested.len());
+    Some(single_206(
+        slice,
+        requested,
+        complete_length,
+        &ReprMeta::of(partial),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_of(len: u64) -> Response {
+        Response::builder(StatusCode::OK)
+            .header("Content-Type", "application/octet-stream")
+            .header("ETag", "\"abc\"")
+            .sized_body((0..len).map(|i| i as u8).collect::<Vec<_>>())
+            .build()
+    }
+
+    #[test]
+    fn serve_full_without_range_is_200() {
+        let full = full_of(100);
+        let resp = serve_from_full(None, &full, MultiReplyPolicy::Coalesce);
+        assert_eq!(resp.status(), StatusCode::OK);
+        assert_eq!(resp.body().len(), 100);
+        assert_eq!(resp.headers().get("accept-ranges"), Some("bytes"));
+        assert_eq!(resp.headers().get("etag"), Some("\"abc\""));
+    }
+
+    #[test]
+    fn serve_single_range() {
+        let full = full_of(100);
+        let header = RangeHeader::parse("bytes=10-19").unwrap();
+        let resp = serve_from_full(Some(&header), &full, MultiReplyPolicy::Coalesce);
+        assert_eq!(resp.status(), StatusCode::PARTIAL_CONTENT);
+        assert_eq!(resp.headers().get("content-range"), Some("bytes 10-19/100"));
+        assert_eq!(resp.body().as_bytes(), (10u8..20).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    fn unsatisfiable_is_416() {
+        let full = full_of(100);
+        let header = RangeHeader::parse("bytes=500-600").unwrap();
+        let resp = serve_from_full(Some(&header), &full, MultiReplyPolicy::Coalesce);
+        assert_eq!(resp.status(), StatusCode::RANGE_NOT_SATISFIABLE);
+        assert_eq!(resp.headers().get("content-range"), Some("bytes */100"));
+    }
+
+    #[test]
+    fn npart_policy_duplicates_overlaps() {
+        let full = full_of(100);
+        let header = RangeHeader::parse("bytes=0-,0-,0-").unwrap();
+        let resp = serve_from_full(Some(&header), &full, MultiReplyPolicy::NPartNoOverlapCheck);
+        assert_eq!(resp.status(), StatusCode::PARTIAL_CONTENT);
+        assert!(resp.body().len() > 300, "three 100-byte parts plus framing");
+    }
+
+    #[test]
+    fn coalesce_policy_merges_overlaps_to_single_206() {
+        let full = full_of(100);
+        let header = RangeHeader::parse("bytes=0-,0-,0-").unwrap();
+        let resp = serve_from_full(Some(&header), &full, MultiReplyPolicy::Coalesce);
+        assert_eq!(resp.status(), StatusCode::PARTIAL_CONTENT);
+        assert_eq!(resp.headers().get("content-range"), Some("bytes 0-99/100"));
+        assert_eq!(resp.body().len(), 100);
+    }
+
+    #[test]
+    fn reject_policy_416s_overlaps_but_allows_disjoint() {
+        let full = full_of(100);
+        let overlapping = RangeHeader::parse("bytes=0-,0-").unwrap();
+        let resp = serve_from_full(Some(&overlapping), &full, MultiReplyPolicy::RejectOverlapping);
+        assert_eq!(resp.status(), StatusCode::RANGE_NOT_SATISFIABLE);
+
+        let disjoint = RangeHeader::parse("bytes=0-4,90-94").unwrap();
+        let resp = serve_from_full(Some(&disjoint), &full, MultiReplyPolicy::RejectOverlapping);
+        assert_eq!(resp.status(), StatusCode::PARTIAL_CONTENT);
+        assert!(resp
+            .headers()
+            .get("content-type")
+            .unwrap()
+            .starts_with("multipart/byteranges"));
+    }
+
+    #[test]
+    fn full200_policy_ignores_ranges() {
+        let full = full_of(100);
+        let header = RangeHeader::parse("bytes=0-,0-").unwrap();
+        let resp = serve_from_full(Some(&header), &full, MultiReplyPolicy::Full200);
+        assert_eq!(resp.status(), StatusCode::OK);
+        assert_eq!(resp.body().len(), 100);
+    }
+
+    #[test]
+    fn slice_from_partial_within_window() {
+        let window = ResolvedRange { first: 1000, last: 1999 };
+        let partial = single_206(
+            Body::from((0..1000).map(|i| i as u8).collect::<Vec<_>>()),
+            window,
+            10_000,
+            &ReprMeta {
+                content_type: "x/y".to_string(),
+                etag: None,
+                last_modified: None,
+            },
+        );
+        let requested = ResolvedRange { first: 1500, last: 1501 };
+        let resp = slice_single_from_partial(requested, &partial).unwrap();
+        assert_eq!(resp.headers().get("content-range"), Some("bytes 1500-1501/10000"));
+        assert_eq!(resp.body().len(), 2);
+        assert_eq!(resp.body().as_bytes(), &[244, 245]); // 500, 501 mod 256
+    }
+
+    #[test]
+    fn slice_from_partial_outside_window_is_none() {
+        let window = ResolvedRange { first: 1000, last: 1999 };
+        let partial = single_206(
+            Body::from(vec![0u8; 1000]),
+            window,
+            10_000,
+            &ReprMeta {
+                content_type: "x/y".to_string(),
+                etag: None,
+                last_modified: None,
+            },
+        );
+        let requested = ResolvedRange { first: 500, last: 501 };
+        assert!(slice_single_from_partial(requested, &partial).is_none());
+        let straddling = ResolvedRange { first: 1999, last: 2000 };
+        assert!(slice_single_from_partial(straddling, &partial).is_none());
+    }
+}

@@ -1,0 +1,286 @@
+//! The edge cache.
+//!
+//! Cache keys include the full path *and query string* — that is why an
+//! attacker can force a cache miss on every request by appending a random
+//! query parameter (paper §II-A), which both RangeAmp attacks rely on.
+//! Only complete 200 representations are stored (partial-response caching
+//! is exactly what vendors told the authors they don't want to do, §VII-A).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rangeamp_http::Response;
+
+/// A cached full representation.
+#[derive(Debug, Clone)]
+pub struct CachedEntry {
+    /// The stored 200 response (complete body).
+    pub response: Response,
+}
+
+#[derive(Debug)]
+struct CacheInner {
+    entries: HashMap<String, CachedEntry>,
+    /// Keys in least-recently-used-first order.
+    lru: Vec<String>,
+    max_entries: usize,
+    evictions: u64,
+    // KeyCDN's observed two-step behaviour needs per-key request history.
+    seen: HashSet<String>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for CacheInner {
+    fn default() -> CacheInner {
+        CacheInner {
+            entries: HashMap::new(),
+            lru: Vec::new(),
+            max_entries: Cache::DEFAULT_MAX_ENTRIES,
+            evictions: 0,
+            seen: HashSet::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+impl CacheInner {
+    fn touch(&mut self, key: &str) {
+        if let Some(pos) = self.lru.iter().position(|k| k == key) {
+            let key = self.lru.remove(pos);
+            self.lru.push(key);
+        }
+    }
+
+    fn evict_to_capacity(&mut self) {
+        while self.entries.len() > self.max_entries && !self.lru.is_empty() {
+            let victim = self.lru.remove(0);
+            self.entries.remove(&victim);
+            self.evictions += 1;
+        }
+    }
+}
+
+/// Shared-state edge cache (clones share storage, like processes on one
+/// edge node). Bounded: beyond [`Cache::DEFAULT_MAX_ENTRIES`] (or the
+/// limit given to [`Cache::with_capacity`]) the least recently used
+/// entry is evicted — which is how an SBR attacker's cache-busted
+/// requests also *pollute* the edge cache as a side effect.
+///
+/// # Example
+///
+/// ```
+/// use rangeamp_cdn::Cache;
+///
+/// let cache = Cache::with_capacity(2);
+/// // Every cache-busted URL is a distinct key:
+/// assert_ne!(Cache::key("victim", "/f.bin?rnd=1"), Cache::key("victim", "/f.bin?rnd=2"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Cache {
+    inner: Arc<Mutex<CacheInner>>,
+}
+
+impl Cache {
+    /// Default entry limit per edge cache.
+    pub const DEFAULT_MAX_ENTRIES: usize = 4096;
+
+    /// Creates an empty cache with the default capacity.
+    pub fn new() -> Cache {
+        Cache::default()
+    }
+
+    /// Creates an empty cache holding at most `max_entries`.
+    pub fn with_capacity(max_entries: usize) -> Cache {
+        let cache = Cache::default();
+        cache.inner.lock().max_entries = max_entries.max(1);
+        cache
+    }
+
+    /// Builds the cache key for a host + request target pair.
+    pub fn key(host: &str, uri: &str) -> String {
+        format!("{host}|{uri}")
+    }
+
+    /// Looks up a full representation, counting hit/miss statistics and
+    /// refreshing recency.
+    pub fn get(&self, key: &str) -> Option<CachedEntry> {
+        let mut inner = self.inner.lock();
+        match inner.entries.get(key).cloned() {
+            Some(entry) => {
+                inner.hits += 1;
+                inner.touch(key);
+                Some(entry)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a full representation, evicting the least recently used
+    /// entries beyond capacity.
+    pub fn put(&self, key: &str, response: Response) {
+        let mut inner = self.inner.lock();
+        if inner.entries.insert(key.to_string(), CachedEntry { response }).is_none() {
+            inner.lru.push(key.to_string());
+        } else {
+            inner.touch(key);
+        }
+        inner.evict_to_capacity();
+    }
+
+    /// Number of entries evicted so far (the cache-pollution signal).
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().evictions
+    }
+
+    /// Marks that `key` has been requested before (KeyCDN's first-pass
+    /// marker), returning whether it had already been marked.
+    pub fn mark_seen(&self, key: &str) -> bool {
+        !self.inner.lock().seen.insert(key.to_string())
+    }
+
+    /// Whether `key` was requested before.
+    pub fn was_seen(&self, key: &str) -> bool {
+        self.inner.lock().seen.contains(key)
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.hits, inner.misses)
+    }
+
+    /// Number of stored representations.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().entries.is_empty()
+    }
+
+    /// Drops all entries and statistics.
+    pub fn clear(&self) {
+        *self.inner.lock() = CacheInner::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rangeamp_http::StatusCode;
+
+    fn response_of(len: usize) -> Response {
+        Response::builder(StatusCode::OK)
+            .sized_body(vec![0u8; len])
+            .build()
+    }
+
+    #[test]
+    fn put_then_get() {
+        let cache = Cache::new();
+        let key = Cache::key("victim", "/f.bin");
+        assert!(cache.get(&key).is_none());
+        cache.put(&key, response_of(10));
+        assert_eq!(cache.get(&key).unwrap().response.body().len(), 10);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn query_string_changes_the_key() {
+        // The cache-busting property the attacks rely on.
+        let cache = Cache::new();
+        cache.put(&Cache::key("victim", "/f.bin"), response_of(10));
+        assert!(cache.get(&Cache::key("victim", "/f.bin?rnd=1")).is_none());
+        assert!(cache.get(&Cache::key("victim", "/f.bin?rnd=2")).is_none());
+    }
+
+    #[test]
+    fn host_changes_the_key() {
+        let cache = Cache::new();
+        cache.put(&Cache::key("a", "/f"), response_of(1));
+        assert!(cache.get(&Cache::key("b", "/f")).is_none());
+    }
+
+    #[test]
+    fn seen_marker_flips_on_second_visit() {
+        let cache = Cache::new();
+        let key = Cache::key("victim", "/f.bin?x=1");
+        assert!(!cache.mark_seen(&key));
+        assert!(cache.was_seen(&key));
+        assert!(cache.mark_seen(&key));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Cache::new();
+        let b = a.clone();
+        a.put("k", response_of(1));
+        assert!(b.get("k").is_some());
+    }
+
+    #[test]
+    fn lru_eviction_beyond_capacity() {
+        let cache = Cache::with_capacity(2);
+        cache.put("a", response_of(1));
+        cache.put("b", response_of(2));
+        cache.put("c", response_of(3));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get("a").is_none(), "oldest evicted");
+        assert!(cache.get("b").is_some());
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let cache = Cache::with_capacity(2);
+        cache.put("a", response_of(1));
+        cache.put("b", response_of(2));
+        cache.get("a"); // a becomes most recent
+        cache.put("c", response_of(3));
+        assert!(cache.get("a").is_some(), "recently used survives");
+        assert!(cache.get("b").is_none(), "LRU victim");
+    }
+
+    #[test]
+    fn reinsert_updates_without_duplicate_lru_entry() {
+        let cache = Cache::with_capacity(2);
+        cache.put("a", response_of(1));
+        cache.put("a", response_of(9));
+        cache.put("b", response_of(2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("a").unwrap().response.body().len(), 9);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn cache_busting_pollutes_the_cache() {
+        // The SBR side effect: each busted URL is a distinct key, so a
+        // stream of attack requests evicts legitimate entries.
+        let cache = Cache::with_capacity(4);
+        cache.put(&Cache::key("victim", "/popular.bin"), response_of(10));
+        for i in 0..16 {
+            cache.put(&Cache::key("victim", &format!("/f.bin?rnd={i}")), response_of(1));
+        }
+        assert!(cache.get(&Cache::key("victim", "/popular.bin")).is_none());
+        assert!(cache.evictions() >= 12);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = Cache::new();
+        cache.put("k", response_of(1));
+        cache.mark_seen("k");
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(!cache.was_seen("k"));
+        assert_eq!(cache.stats(), (0, 0));
+    }
+}

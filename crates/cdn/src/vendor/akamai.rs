@@ -1,0 +1,106 @@
+//! Akamai behaviour profile.
+//!
+//! Paper findings:
+//! * Table I — *Deletion* for `bytes=first-last` and `bytes=-suffix`
+//!   (the highest SBR amplification of all vendors: 43093× at 25 MB,
+//!   because Akamai "insert[s] fewer headers to the response").
+//! * Table III — as a BCDN it answers `bytes=start1-,...,startn-` with an
+//!   n-part response without checking overlap.
+//! * §V-C — limits the total size of all request headers to 32 KB.
+
+use rangeamp_http::range::ByteRangeSpec;
+
+use super::{coalesced_forward, deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions, VendorProfile};
+use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy};
+
+/// Calibrated so a single-part 206 to the SBR probe is ≈ 608 wire bytes
+/// (Table IV: 26 214 650 / 43 093 ≈ 608 at 25 MB).
+const PAD: usize = 164;
+
+pub(super) fn profile() -> VendorProfile {
+    VendorProfile {
+        vendor: Vendor::Akamai,
+        limits: HeaderLimits {
+            total_header_bytes: Some(32 * 1024),
+            ..HeaderLimits::default()
+        },
+        multi_reply: MultiReplyPolicy::NPartNoOverlapCheck,
+        cache_enabled: true,
+        keeps_backend_alive_on_abort: false,
+        mitigation: MitigationConfig::none(),
+        extra_headers: vec![
+            ("Server", "AkamaiGHost".to_string()),
+            ("Mime-Version", "1.0".to_string()),
+            ("Expires", "Thu, 02 Jan 2020 00:00:01 GMT".to_string()),
+            ("Cache-Control", "max-age=604800".to_string()),
+            ("Connection", "keep-alive".to_string()),
+            pad_header(PAD),
+        ],
+        options: VendorOptions::default(),
+    }
+}
+
+pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> MissResult {
+    let Some(header) = ctx.range.clone() else {
+        return laziness(ctx);
+    };
+    if header.is_multi() {
+        // Not forwarded unchanged (Akamai is absent from Table II) and not
+        // deleted (absent from Table I's multi rows): span-coalesced
+        // forward, then the n-part no-overlap-check reply (Table III).
+        return coalesced_forward(&profile(), ctx);
+    }
+    match header.specs()[0] {
+        // Table I: first-last and -suffix are deleted.
+        ByteRangeSpec::FromTo { .. } | ByteRangeSpec::Suffix { .. } => deletion(ctx),
+        // Open-ended ranges are not listed as vulnerable → forwarded as-is.
+        ByteRangeSpec::From { .. } => laziness(ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::*;
+    use super::*;
+    use rangeamp_http::StatusCode;
+
+    #[test]
+    fn deletes_range_for_first_last_and_suffix() {
+        for range in ["bytes=0-0", "bytes=-1"] {
+            let run = run_vendor(Vendor::Akamai, 1 << 20, range);
+            assert_eq!(run.forwarded, vec![None], "case {range}");
+            assert!(run.origin_response_bytes > 1 << 20);
+            assert_eq!(run.client_response.status(), StatusCode::PARTIAL_CONTENT);
+        }
+    }
+
+    #[test]
+    fn forwards_open_ended_unchanged() {
+        let run = run_vendor(Vendor::Akamai, 4096, "bytes=4000-");
+        assert_eq!(run.forwarded, vec![Some("bytes=4000-".to_string())]);
+    }
+
+    #[test]
+    fn bcdn_reply_is_n_part_without_overlap_check() {
+        let run = run_vendor_ranges_disabled(Vendor::Akamai, 1024, "bytes=0-,0-,0-,0-");
+        assert_eq!(run.client_response.status(), StatusCode::PARTIAL_CONTENT);
+        assert!(
+            run.client_response.body().len() > 4 * 1024,
+            "four overlapping 1 KB parts expected"
+        );
+        // The origin shipped the 1 KB representation exactly once.
+        assert!(run.origin_response_bytes < 2 * 1024);
+    }
+
+    #[test]
+    fn multi_range_is_not_forwarded_unchanged() {
+        let run = run_vendor(Vendor::Akamai, 1024, "bytes=0-,0-");
+        assert_eq!(run.forwarded, vec![Some("bytes=0-".to_string())]);
+    }
+
+    #[test]
+    fn total_header_limit_is_32k() {
+        let limits = profile().limits;
+        assert_eq!(limits.total_header_bytes, Some(32 * 1024));
+    }
+}

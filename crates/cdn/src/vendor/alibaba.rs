@@ -1,0 +1,98 @@
+//! Alibaba Cloud behaviour profile.
+//!
+//! Paper findings:
+//! * Table I — *Deletion* for `bytes=-suffix`, conditional on the `Range`
+//!   origin-pull option being set to *disable* (the default our profile
+//!   models; set [`VendorOptions::range_option_deletes`] to `false` for
+//!   the hardened configuration).
+//! * Table IV — exploited with `bytes=-1`; amplification 26 241× at 25 MB.
+//!
+//! [`VendorOptions::range_option_deletes`]: super::VendorOptions
+
+use rangeamp_http::range::ByteRangeSpec;
+
+use super::{coalesced_forward, deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions, VendorProfile};
+use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy};
+
+/// Calibrated so a single-part 206 to the SBR probe is ≈ 996 wire bytes
+/// (Table IV: 1 048 826 / 1 056 ≈ 993 at 1 MB).
+const PAD: usize = 536;
+
+pub(super) fn profile() -> VendorProfile {
+    VendorProfile {
+        vendor: Vendor::AlibabaCloud,
+        limits: HeaderLimits::default(),
+        multi_reply: MultiReplyPolicy::Coalesce,
+        cache_enabled: true,
+        keeps_backend_alive_on_abort: false,
+        mitigation: MitigationConfig::none(),
+        extra_headers: vec![
+            ("Server", "Tengine".to_string()),
+            ("Via", "cache13.l2et15-1[0,0,200-0,H], cache3.cn541[0,0]".to_string()),
+            ("Timing-Allow-Origin", "*".to_string()),
+            ("EagleId", "2ff6155816005325084906273e".to_string()),
+            pad_header(PAD),
+        ],
+        options: VendorOptions::default(),
+    }
+}
+
+pub(super) fn handle_miss(profile: &VendorProfile, ctx: &mut MissCtx<'_>) -> MissResult {
+    let Some(header) = ctx.range.clone() else {
+        return laziness(ctx);
+    };
+    if !profile.options.range_option_deletes {
+        // Hardened configuration: everything is forwarded unchanged...
+        // except multi-range sets, which Alibaba never relays verbatim
+        // (it is absent from Table II).
+        if header.is_multi() {
+            return coalesced_forward(profile, ctx);
+        }
+        return laziness(ctx);
+    }
+    if header.is_multi() {
+        return coalesced_forward(profile, ctx);
+    }
+    match header.specs()[0] {
+        ByteRangeSpec::Suffix { .. } => deletion(ctx),
+        _ => laziness(ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::*;
+    use super::*;
+
+    #[test]
+    fn deletes_suffix_ranges_only() {
+        let run = run_vendor(Vendor::AlibabaCloud, 1 << 20, "bytes=-1");
+        assert_eq!(run.forwarded, vec![None]);
+        assert!(run.origin_response_bytes > 1 << 20);
+        assert_eq!(run.client_response.body().len(), 1);
+    }
+
+    #[test]
+    fn first_last_is_forwarded_unchanged() {
+        let run = run_vendor(Vendor::AlibabaCloud, 1 << 20, "bytes=0-0");
+        assert_eq!(run.forwarded, vec![Some("bytes=0-0".to_string())]);
+        assert!(run.origin_response_bytes < 4096, "no amplification");
+    }
+
+    #[test]
+    fn hardened_option_disables_the_vulnerability() {
+        let mut profile = profile();
+        profile.options.range_option_deletes = false;
+        let run = run_vendor_with_profile(profile, 1 << 20, "bytes=-1", true);
+        assert_eq!(run.forwarded, vec![Some("bytes=-1".to_string())]);
+        assert!(run.origin_response_bytes < 4096);
+    }
+
+    #[test]
+    fn multi_range_is_coalesced_not_relayed() {
+        let run = run_vendor(Vendor::AlibabaCloud, 1024, "bytes=0-,0-,0-");
+        assert_eq!(run.forwarded, vec![Some("bytes=0-".to_string())]);
+        // Client reply is coalesced → no OBR inflation.
+        assert!(run.client_response.body().len() <= 1100);
+    }
+}

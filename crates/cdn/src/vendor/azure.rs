@@ -1,0 +1,167 @@
+//! Azure CDN behaviour profile.
+//!
+//! Paper findings (§V-A item 2, Tables I/III/V):
+//! * For `bytes=first-last` Azure first adopts *Deletion*. If the file
+//!   exceeds 8 MB, Azure closes the first back-to-origin connection once
+//!   a little more than 8 MB has arrived, and — when the requested range
+//!   lies inside `[8388608, 16777215]` — opens a second connection with
+//!   `Range: bytes=8388608-16777215`. Exploited with
+//!   `bytes=8388608-8388608`, origin traffic saturates at ≈ 16 MB, which
+//!   is why Azure's amplification plateaus beyond 16 MB files (Fig 6a).
+//! * As a BCDN it answers up to 64 overlapping ranges with an n-part
+//!   response (Table III); 64 is also its `Range` spec-count limit (§V-C).
+
+use rangeamp_http::range::RangeHeader;
+
+use super::{coalesced_forward, deletion, laziness, pad_header, MissCtx, MissReply, MissResult, Vendor, VendorOptions, VendorProfile};
+use crate::{assemble, HeaderLimits, MitigationConfig, MultiReplyPolicy};
+
+/// First window boundary: 8 MB.
+pub(crate) const WINDOW_START: u64 = 8 * 1024 * 1024;
+/// Second fetch covers `[8388608, 16777215]`.
+pub(crate) const WINDOW_END: u64 = 16 * 1024 * 1024 - 1;
+
+/// Calibrated so a single-part 206 to the SBR probe is ≈ 740 wire bytes
+/// (Table IV: 1 048 826 / 1 401 ≈ 749 at 1 MB).
+const PAD: usize = 290;
+
+pub(super) fn profile() -> VendorProfile {
+    VendorProfile {
+        vendor: Vendor::Azure,
+        limits: HeaderLimits {
+            max_ranges: Some(64),
+            ..HeaderLimits::default()
+        },
+        multi_reply: MultiReplyPolicy::NPartNoOverlapCheck,
+        cache_enabled: true,
+        keeps_backend_alive_on_abort: false,
+        mitigation: MitigationConfig::none(),
+        extra_headers: vec![
+            ("Server", "ECAcc (sed/58B5)".to_string()),
+            ("X-Cache-Status", "CONFIG_NOCACHE".to_string()),
+            ("X-Azure-Ref", "0pZGVXwAAAADZ2DVx9NVaTq2eyWNTbCREWVZSMzBFREdFMDYxOQBjYmUx".to_string()),
+            pad_header(PAD),
+        ],
+        options: VendorOptions::default(),
+    }
+}
+
+pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> MissResult {
+    let Some(header) = ctx.range.clone() else {
+        return laziness(ctx);
+    };
+    if header.is_multi() {
+        // ≤ 64 ranges (the node's limit check already rejected more):
+        // span-coalesced fetch, then the n-part no-overlap-check reply.
+        return coalesced_forward(&profile(), ctx);
+    }
+    let spec = header.specs()[0];
+    let Some(size) = ctx.resource_size else {
+        return deletion(ctx);
+    };
+    if size <= WINDOW_START {
+        // F ≤ 8 MB: plain Deletion (Table I row 1).
+        return deletion(ctx);
+    }
+    let Some(requested) = spec.resolve(size) else {
+        // Unsatisfiable: Azure still fetched (deleted) in the paper's
+        // model; serve the 416 from the full copy.
+        return deletion(ctx);
+    };
+    if requested.last < WINDOW_START {
+        // F > 8 MB, range in the first window: Deletion fetch aborted a
+        // little past 8 MB; the range is served from the received prefix.
+        let truncated = ctx.fetch_truncated(None, WINDOW_START);
+        let meta = assemble::ReprMeta::of(&truncated);
+        let slice = truncated.body().slice(requested.first, requested.last + 1);
+        let resp = assemble::single_206(slice, requested, size, &meta);
+        return MissResult::new(MissReply::Direct(resp), false);
+    }
+    if requested.first >= WINDOW_START && requested.last <= WINDOW_END {
+        // Table I row 2 ("None & bytes=8388608-16777215"): the aborted
+        // Deletion fetch, then a second connection with the fixed window.
+        let _aborted = ctx.fetch_truncated(None, WINDOW_START);
+        let window = RangeHeader::from_to(WINDOW_START, WINDOW_END.min(size - 1));
+        let second = ctx.fetch(Some(&window));
+        if let Some(resp) = assemble::slice_single_from_partial(requested, &second) {
+            return MissResult::new(MissReply::Direct(resp), false);
+        }
+        return MissResult::new(MissReply::Passthrough(second), false);
+    }
+    // Ranges straddling the boundary or beyond 16 MB: forwarded as-is.
+    let resp = ctx.fetch(Some(&header));
+    MissResult::new(MissReply::Passthrough(resp), false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::*;
+    use super::*;
+    use rangeamp_http::StatusCode;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn small_files_use_plain_deletion() {
+        let run = run_vendor(Vendor::Azure, 4 * MB, "bytes=0-0");
+        assert_eq!(run.forwarded, vec![None]);
+        assert!(run.origin_response_bytes > 4 * MB);
+    }
+
+    #[test]
+    fn large_file_window_range_triggers_dual_connection() {
+        // The Table IV exploited case: bytes=8388608-8388608 on F > 8 MB.
+        let run = run_vendor(Vendor::Azure, 25 * MB, "bytes=8388608-8388608");
+        assert_eq!(
+            run.forwarded,
+            vec![None, Some("bytes=8388608-16777215".to_string())],
+            "None & bytes=8388608-16777215 (Table I)"
+        );
+        // First connection ≈ 8 MB (aborted), second = 8 MB window.
+        let origin = run.origin_response_bytes;
+        assert!(
+            origin > 16 * MB && origin < 17 * MB,
+            "origin traffic should saturate near 16 MB, got {origin}"
+        );
+        assert_eq!(run.client_response.status(), StatusCode::PARTIAL_CONTENT);
+        assert_eq!(run.client_response.body().len(), 1);
+    }
+
+    #[test]
+    fn large_file_low_range_served_from_aborted_first_connection() {
+        let run = run_vendor(Vendor::Azure, 25 * MB, "bytes=0-0");
+        assert_eq!(run.forwarded, vec![None], "single aborted fetch");
+        let origin = run.origin_response_bytes;
+        assert!(
+            origin > 8 * MB && origin < 9 * MB,
+            "aborted a little past 8 MB, got {origin}"
+        );
+        assert_eq!(run.client_response.body().len(), 1);
+    }
+
+    #[test]
+    fn range_beyond_window_is_forwarded_lazily() {
+        let run = run_vendor(Vendor::Azure, 25 * MB, "bytes=20000000-20000000");
+        assert_eq!(
+            run.forwarded,
+            vec![Some("bytes=20000000-20000000".to_string())]
+        );
+    }
+
+    #[test]
+    fn bcdn_reply_is_n_part_up_to_64() {
+        let run = run_vendor_ranges_disabled(Vendor::Azure, 1024, &obr_header(64));
+        assert_eq!(run.client_response.status(), StatusCode::PARTIAL_CONTENT);
+        assert!(run.client_response.body().len() > 64 * 1024);
+    }
+
+    #[test]
+    fn more_than_64_ranges_rejected_at_the_edge() {
+        let run = run_vendor_ranges_disabled(Vendor::Azure, 1024, &obr_header(65));
+        assert_eq!(
+            run.client_response.status(),
+            StatusCode::REQUEST_HEADER_FIELDS_TOO_LARGE
+        );
+        assert_eq!(run.origin_request_count, 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! CDN77 behaviour profile.
+//!
+//! Paper findings:
+//! * Table I — *Deletion* for `bytes=first-last` when `first < 1024`.
+//! * Table II — multi-range headers are forwarded *unchanged* (OBR FCDN).
+//! * §IV-C — CDN77 keeps the back-to-origin connection alive when the
+//!   client aborts the front-end connection.
+//! * §V-C — limits a single request header to 16 KB.
+//! * §VII-A — post-disclosure, CDN77 deployed overlap detection; model
+//!   that with [`MitigationConfig::reject_overlapping`].
+//!
+//! [`MitigationConfig::reject_overlapping`]: crate::MitigationConfig
+
+use rangeamp_http::range::ByteRangeSpec;
+
+use super::{deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions, VendorProfile};
+use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy};
+
+/// First-byte threshold under which the Range header is deleted.
+const DELETE_BELOW: u64 = 1024;
+
+/// Calibrated so a single-part 206 to the SBR probe is ≈ 650 wire bytes
+/// (Table IV: 26 214 650 / 40 390 ≈ 649 at 25 MB).
+const PAD: usize = 284;
+
+pub(super) fn profile() -> VendorProfile {
+    VendorProfile {
+        vendor: Vendor::Cdn77,
+        limits: HeaderLimits {
+            single_header_bytes: Some(16 * 1024),
+            ..HeaderLimits::default()
+        },
+        multi_reply: MultiReplyPolicy::Coalesce,
+        cache_enabled: true,
+        keeps_backend_alive_on_abort: true,
+        mitigation: MitigationConfig::none(),
+        extra_headers: vec![
+            ("Server", "CDN77-Turbo".to_string()),
+            ("X-77-NZT", "AZ3BGR".to_string()),
+            ("X-77-Cache", "MISS".to_string()),
+            pad_header(PAD),
+        ],
+        options: VendorOptions::default(),
+    }
+}
+
+pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> MissResult {
+    let Some(header) = ctx.range.clone() else {
+        return laziness(ctx);
+    };
+    if header.is_multi() {
+        // Table II: forwarded unchanged — the OBR FCDN vulnerability.
+        return laziness(ctx);
+    }
+    match header.specs()[0] {
+        ByteRangeSpec::FromTo { first, .. } if first < DELETE_BELOW => deletion(ctx),
+        _ => laziness(ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::*;
+    use super::*;
+
+    #[test]
+    fn deletes_low_first_last_ranges() {
+        let run = run_vendor(Vendor::Cdn77, 1 << 20, "bytes=0-0");
+        assert_eq!(run.forwarded, vec![None]);
+        assert!(run.origin_response_bytes > 1 << 20);
+    }
+
+    #[test]
+    fn first_at_or_above_1024_is_lazy() {
+        let run = run_vendor(Vendor::Cdn77, 1 << 20, "bytes=1024-1024");
+        assert_eq!(run.forwarded, vec![Some("bytes=1024-1024".to_string())]);
+        assert!(run.origin_response_bytes < 4096);
+    }
+
+    #[test]
+    fn boundary_below_1024_is_deleted() {
+        let run = run_vendor(Vendor::Cdn77, 1 << 20, "bytes=1023-1023");
+        assert_eq!(run.forwarded, vec![None]);
+    }
+
+    #[test]
+    fn suffix_is_lazy() {
+        let run = run_vendor(Vendor::Cdn77, 1 << 20, "bytes=-1");
+        assert_eq!(run.forwarded, vec![Some("bytes=-1".to_string())]);
+    }
+
+    #[test]
+    fn multi_range_forwarded_unchanged_fcdn_vulnerable() {
+        let range = "bytes=-1024,0-,0-";
+        let run = run_vendor(Vendor::Cdn77, 4096, range);
+        assert_eq!(run.forwarded, vec![Some(range.to_string())]);
+    }
+
+    #[test]
+    fn keeps_backend_alive_on_abort() {
+        assert!(profile().keeps_backend_alive_on_abort);
+    }
+}

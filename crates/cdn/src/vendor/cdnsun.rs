@@ -1,0 +1,109 @@
+//! CDNsun behaviour profile.
+//!
+//! Paper findings:
+//! * Table I — *Deletion* for `bytes=0-last`.
+//! * Table II — multi-range headers `bytes=start1-,...,startn-` are
+//!   forwarded unchanged when `start1 ≥ 1` (hence the exploited case
+//!   `bytes=1-,0-,...,0-` in Table V).
+//! * §IV-C — like CDN77, keeps the back-to-origin connection alive when
+//!   the client aborts.
+//! * §V-C — limits a single request header to 16 KB.
+
+use rangeamp_http::range::ByteRangeSpec;
+
+use super::{coalesced_forward, deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions, VendorProfile};
+use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy};
+
+/// Calibrated so a single-part 206 to the SBR probe is ≈ 670 wire bytes
+/// (Table IV: 26 214 650 / 38 730 ≈ 677 at 25 MB).
+const PAD: usize = 324;
+
+pub(super) fn profile() -> VendorProfile {
+    VendorProfile {
+        vendor: Vendor::CdnSun,
+        limits: HeaderLimits {
+            single_header_bytes: Some(16 * 1024),
+            ..HeaderLimits::default()
+        },
+        multi_reply: MultiReplyPolicy::Coalesce,
+        cache_enabled: true,
+        keeps_backend_alive_on_abort: true,
+        mitigation: MitigationConfig::none(),
+        extra_headers: vec![
+            ("Server", "CDNsun".to_string()),
+            ("X-Edge-Location", "frankfurt".to_string()),
+            pad_header(PAD),
+        ],
+        options: VendorOptions::default(),
+    }
+}
+
+pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> MissResult {
+    let Some(header) = ctx.range.clone() else {
+        return laziness(ctx);
+    };
+    if header.is_multi() {
+        let all_open = header
+            .specs()
+            .iter()
+            .all(|s| matches!(s, ByteRangeSpec::From { .. }));
+        let first_start = match header.specs()[0] {
+            ByteRangeSpec::From { first } => Some(first),
+            _ => None,
+        };
+        // Table II: only start1 ≥ 1 sets are relayed verbatim.
+        if all_open && first_start.is_some_and(|s| s >= 1) {
+            return laziness(ctx);
+        }
+        return coalesced_forward(&profile(), ctx);
+    }
+    match header.specs()[0] {
+        // Table I: bytes=0-last is deleted.
+        ByteRangeSpec::FromTo { first: 0, .. } => deletion(ctx),
+        _ => laziness(ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::*;
+    use super::*;
+
+    #[test]
+    fn deletes_zero_anchored_first_last() {
+        let run = run_vendor(Vendor::CdnSun, 1 << 20, "bytes=0-0");
+        assert_eq!(run.forwarded, vec![None]);
+        assert!(run.origin_response_bytes > 1 << 20);
+    }
+
+    #[test]
+    fn nonzero_first_is_lazy() {
+        let run = run_vendor(Vendor::CdnSun, 1 << 20, "bytes=1-1");
+        assert_eq!(run.forwarded, vec![Some("bytes=1-1".to_string())]);
+    }
+
+    #[test]
+    fn suffix_is_lazy() {
+        let run = run_vendor(Vendor::CdnSun, 1 << 20, "bytes=-1");
+        assert_eq!(run.forwarded, vec![Some("bytes=-1".to_string())]);
+    }
+
+    #[test]
+    fn multi_open_ranges_starting_at_one_forwarded_unchanged() {
+        let range = "bytes=1-,0-,0-";
+        let run = run_vendor(Vendor::CdnSun, 4096, range);
+        assert_eq!(run.forwarded, vec![Some(range.to_string())]);
+    }
+
+    #[test]
+    fn multi_open_ranges_starting_at_zero_not_relayed() {
+        let run = run_vendor(Vendor::CdnSun, 4096, "bytes=0-,0-,0-");
+        assert_eq!(run.forwarded, vec![Some("bytes=0-".to_string())]);
+    }
+
+    #[test]
+    fn overlapping_mixed_multi_is_merged_before_forwarding() {
+        let run = run_vendor(Vendor::CdnSun, 4096, "bytes=0-10,5-20");
+        assert_eq!(run.forwarded, vec![Some("bytes=0-20".to_string())]);
+    }
+}

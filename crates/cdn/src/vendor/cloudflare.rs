@@ -1,0 +1,108 @@
+//! Cloudflare behaviour profile.
+//!
+//! Paper findings:
+//! * Table I — *Deletion* for `bytes=first-last` and `bytes=-suffix`,
+//!   conditional on the target path being configured cacheable.
+//! * Table II — with the path configured *Bypass*, multi-range headers
+//!   are forwarded unchanged (OBR FCDN; exploited case `bytes=0-,0-,...`
+//!   reaches the largest n of Table V: 10 750 against Akamai).
+//! * §V-C — header budget `RL + 2·HHL + RHL ≤ 32411` bytes.
+//! * §VII-A — Cloudflare declined to cache partial responses and insisted
+//!   the behaviour is within spec; no mitigation was deployed.
+
+use super::{coalesced_forward, deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions, VendorProfile};
+use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy};
+
+/// Calibrated so a single-part 206 to the SBR probe is ≈ 820 wire bytes
+/// (Table IV: 26 214 650 / 31 836 ≈ 823 at 25 MB).
+const PAD: usize = 337;
+
+fn base_profile() -> VendorProfile {
+    VendorProfile {
+        vendor: Vendor::Cloudflare,
+        limits: HeaderLimits {
+            cloudflare_budget: Some(32_411),
+            ..HeaderLimits::default()
+        },
+        multi_reply: MultiReplyPolicy::Coalesce,
+        cache_enabled: true,
+        keeps_backend_alive_on_abort: false,
+        mitigation: MitigationConfig::none(),
+        extra_headers: vec![
+            ("Server", "cloudflare".to_string()),
+            ("CF-Ray", "5cd2f9af2ecf04fe-FRA".to_string()),
+            ("CF-Cache-Status", "MISS".to_string()),
+            ("Expect-CT", "max-age=604800, report-uri=\"https://report-uri.cloudflare.com/cdn-cgi/beacon/expect-ct\"".to_string()),
+            pad_header(PAD),
+        ],
+        options: VendorOptions::default(),
+    }
+}
+
+/// Default profile: target path cacheable (SBR-vulnerable, Table I).
+pub(super) fn profile() -> VendorProfile {
+    base_profile()
+}
+
+/// The *Bypass* configuration (OBR-FCDN-vulnerable, Table II).
+pub(super) fn bypass_profile() -> VendorProfile {
+    let mut profile = base_profile();
+    profile.cache_enabled = false;
+    profile.options.cloudflare_bypass = true;
+    profile
+}
+
+pub(super) fn handle_miss(profile: &VendorProfile, ctx: &mut MissCtx<'_>) -> MissResult {
+    if profile.options.cloudflare_bypass {
+        // Bypass: nothing is cached, everything is relayed verbatim.
+        return laziness(ctx);
+    }
+    let Some(header) = ctx.range.clone() else {
+        return laziness(ctx);
+    };
+    if header.is_multi() {
+        return coalesced_forward(profile, ctx);
+    }
+    // Cacheable path: Cloudflare wants the whole object for its cache.
+    deletion(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::*;
+    use super::*;
+
+    #[test]
+    fn cacheable_mode_deletes_all_single_forms() {
+        for range in ["bytes=0-0", "bytes=-1", "bytes=5-"] {
+            let run = run_vendor(Vendor::Cloudflare, 1 << 20, range);
+            assert_eq!(run.forwarded, vec![None], "case {range}");
+            assert!(run.origin_response_bytes > 1 << 20);
+        }
+    }
+
+    #[test]
+    fn bypass_mode_relays_everything_unchanged() {
+        for range in ["bytes=0-0", "bytes=0-,0-,0-"] {
+            let run = run_vendor_with_profile(bypass_profile(), 4096, range, true);
+            assert_eq!(run.forwarded, vec![Some(range.to_string())], "case {range}");
+        }
+    }
+
+    #[test]
+    fn bypass_mode_never_caches() {
+        assert!(!bypass_profile().cache_enabled);
+        assert!(profile().cache_enabled);
+    }
+
+    #[test]
+    fn cacheable_multi_is_coalesced() {
+        let run = run_vendor(Vendor::Cloudflare, 4096, "bytes=0-,0-");
+        assert_eq!(run.forwarded, vec![Some("bytes=0-".to_string())]);
+    }
+
+    #[test]
+    fn budget_limit_is_modeled() {
+        assert_eq!(profile().limits.cloudflare_budget, Some(32_411));
+    }
+}

@@ -1,0 +1,211 @@
+//! Amazon CloudFront behaviour profile.
+//!
+//! Paper findings (§V-A item 3, Table I):
+//! * CloudFront adopts *Expansion* everywhere: for
+//!   `Range: bytes=first-last` it forwards
+//!   `bytes=first'-last'` with `first' = (first >> 20) << 20` and
+//!   `last' = (((last >> 20) + 1) << 20) - 1` (1 MB chunk alignment).
+//! * For a multi-range header `bytes=first1-last1,...,firstn-lastn` it
+//!   forwards the single expanded window over all ranges, provided
+//!   `last' - first' + 1 ≤ 10485760` (10 MB). The Table IV exploited case
+//!   `bytes=0-0,9437184-9437184` expands to exactly `bytes=0-10485759`,
+//!   which is why CloudFront's amplification plateaus at 10 MB (Fig 6a).
+
+use rangeamp_http::range::{ByteRangeSpec, RangeHeader};
+use rangeamp_http::StatusCode;
+
+use super::{laziness, pad_header, MissCtx, MissReply, MissResult, Vendor, VendorOptions, VendorProfile};
+use crate::{assemble, HeaderLimits, MitigationConfig, MultiReplyPolicy};
+
+/// CloudFront's chunk size: 1 MB.
+const CHUNK_SHIFT: u32 = 20;
+/// Multi-range windows above this span are not expanded.
+const MULTI_WINDOW_MAX: u64 = 10 * 1024 * 1024;
+
+/// Calibrated so a single-part 206 to the SBR probe is ≈ 773 wire bytes
+/// (Table IV: 1 048 826 / 1 356 ≈ 773 at 1 MB).
+const PAD: usize = 306;
+
+pub(super) fn profile() -> VendorProfile {
+    VendorProfile {
+        vendor: Vendor::CloudFront,
+        limits: HeaderLimits::default(),
+        multi_reply: MultiReplyPolicy::Coalesce,
+        cache_enabled: true,
+        keeps_backend_alive_on_abort: false,
+        mitigation: MitigationConfig::none(),
+        extra_headers: vec![
+            ("Server", "AmazonS3".to_string()),
+            ("X-Amz-Cf-Pop", "FRA56-C1".to_string()),
+            ("X-Amz-Cf-Id", "yBsR9tTQjUYrJkT9Jh4mEXAMPLE7examPLEkt0vDfg==".to_string()),
+            ("Via", "1.1 abc0123456789def.cloudfront.net (CloudFront)".to_string()),
+            pad_header(PAD),
+        ],
+        options: VendorOptions::default(),
+    }
+}
+
+/// `first' = (first >> 20) << 20`.
+pub(crate) fn align_down(pos: u64) -> u64 {
+    (pos >> CHUNK_SHIFT) << CHUNK_SHIFT
+}
+
+/// `last' = (((last >> 20) + 1) << 20) - 1`.
+pub(crate) fn align_up(pos: u64) -> u64 {
+    (((pos >> CHUNK_SHIFT) + 1) << CHUNK_SHIFT) - 1
+}
+
+pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> MissResult {
+    let Some(header) = ctx.range.clone() else {
+        return laziness(ctx);
+    };
+    if header.is_multi() {
+        return handle_multi(ctx, &header);
+    }
+    match header.specs()[0] {
+        ByteRangeSpec::FromTo { first, last } => {
+            expand_and_serve(ctx, &header, align_down(first), align_up(last))
+        }
+        ByteRangeSpec::From { first } => {
+            // Open-ended: align the start down, keep the open end.
+            let expanded = RangeHeader::from_first(align_down(first));
+            let resp = ctx.fetch(Some(&expanded));
+            serve_requested_from(ctx, &header, resp)
+        }
+        // Suffix ranges are not chunk-alignable: relayed verbatim.
+        ByteRangeSpec::Suffix { .. } => laziness(ctx),
+    }
+}
+
+fn handle_multi(ctx: &mut MissCtx<'_>, header: &RangeHeader) -> MissResult {
+    let all_from_to = header
+        .specs()
+        .iter()
+        .all(|s| matches!(s, ByteRangeSpec::FromTo { .. }));
+    if !all_from_to {
+        // Open/suffix mixtures cannot be chunk-aligned; CloudFront still
+        // does not relay them verbatim (it is absent from Table II).
+        return super::coalesced_forward(&profile(), ctx);
+    }
+    let mut min_first = u64::MAX;
+    let mut max_last = 0u64;
+    for spec in header.specs() {
+        if let ByteRangeSpec::FromTo { first, last } = *spec {
+            min_first = min_first.min(first);
+            max_last = max_last.max(last);
+        }
+    }
+    let first = align_down(min_first);
+    let last = align_up(max_last);
+    if last - first + 1 > MULTI_WINDOW_MAX {
+        return laziness(ctx);
+    }
+    expand_and_serve(ctx, header, first, last)
+}
+
+/// Fetches the expanded window and slices the client's requested range(s)
+/// out of the returned partial (or full) body.
+fn expand_and_serve(
+    ctx: &MissCtx<'_>,
+    requested: &RangeHeader,
+    first: u64,
+    last: u64,
+) -> MissResult {
+    let expanded = RangeHeader::from_to(first, last);
+    let resp = ctx.fetch(Some(&expanded));
+    serve_requested_from(ctx, requested, resp)
+}
+
+fn serve_requested_from(
+    ctx: &MissCtx<'_>,
+    requested: &RangeHeader,
+    resp: rangeamp_http::Response,
+) -> MissResult {
+    match resp.status() {
+        StatusCode::OK => MissResult::new(MissReply::ServeFromFull(resp), true),
+        StatusCode::PARTIAL_CONTENT => {
+            // Multi-range clients get CloudFront's multipart assembled from
+            // the expanded window; dropped (unsatisfiable) parts simply
+            // don't appear — which is why the exploited case yields 1 part
+            // for a 1 MB file and 2 parts past ~9 MB (Table IV note).
+            let policy = if requested.is_multi() {
+                MultiReplyPolicy::NPartNoOverlapCheck
+            } else {
+                profile().multi_reply
+            };
+            match assemble::serve_from_partial(requested, &resp, policy) {
+                Some(client_resp) => MissResult::new(MissReply::Direct(client_resp), false),
+                None => MissResult::new(MissReply::Passthrough(resp), false),
+            }
+        }
+        _ => {
+            let _ = ctx; // origin errors flow straight back
+            MissResult::new(MissReply::Passthrough(resp), false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::*;
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn alignment_arithmetic_matches_the_paper() {
+        assert_eq!(align_down(0), 0);
+        assert_eq!(align_up(0), 1_048_575);
+        assert_eq!(align_down(9_437_184), 9_437_184);
+        assert_eq!(align_up(9_437_184), 10_485_759);
+        // The paper's worked example: bytes=0-0,9437184-9437184 expands
+        // to bytes=0-10485759.
+        assert_eq!(align_down(0), 0);
+        assert_eq!(align_up(9_437_184) - align_down(0) + 1, 10_485_760);
+    }
+
+    #[test]
+    fn single_range_expands_to_one_chunk() {
+        let run = run_vendor(Vendor::CloudFront, 25 * MB, "bytes=0-0");
+        assert_eq!(run.forwarded, vec![Some("bytes=0-1048575".to_string())]);
+        let origin = run.origin_response_bytes;
+        assert!(origin > MB && origin < MB + 4096, "1 MB chunk, got {origin}");
+        assert_eq!(run.client_response.body().len(), 1);
+    }
+
+    #[test]
+    fn exploited_multi_case_expands_to_10mb_window() {
+        let run = run_vendor(Vendor::CloudFront, 25 * MB, "bytes=0-0,9437184-9437184");
+        assert_eq!(run.forwarded, vec![Some("bytes=0-10485759".to_string())]);
+        let origin = run.origin_response_bytes;
+        assert!(
+            origin > 10 * MB && origin < 10 * MB + 4096,
+            "10 MB window, got {origin}"
+        );
+        // Client receives a small 2-part multipart.
+        let body = run.client_response.body().len();
+        assert!(body < 1024, "tiny multipart expected, got {body}");
+    }
+
+    #[test]
+    fn multi_window_over_10mb_is_relayed_verbatim() {
+        let range = "bytes=0-0,20971520-20971520";
+        let run = run_vendor(Vendor::CloudFront, 25 * MB, range);
+        assert_eq!(run.forwarded, vec![Some(range.to_string())]);
+    }
+
+    #[test]
+    fn one_mb_file_yields_single_part_for_exploited_case() {
+        // The second range (9437184-) is unsatisfiable for a 1 MB file.
+        let run = run_vendor(Vendor::CloudFront, MB, "bytes=0-0,9437184-9437184");
+        assert_eq!(run.forwarded, vec![Some("bytes=0-10485759".to_string())]);
+        // Origin clamps to the 1 MB file.
+        assert!(run.origin_response_bytes < MB + 4096);
+    }
+
+    #[test]
+    fn suffix_is_relayed_verbatim() {
+        let run = run_vendor(Vendor::CloudFront, MB, "bytes=-1");
+        assert_eq!(run.forwarded, vec![Some("bytes=-1".to_string())]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Fastly behaviour profile.
+//!
+//! Paper findings:
+//! * Table I — *Deletion* for `bytes=first-last` and `bytes=-suffix`.
+//! * Table IV — exploited with `bytes=0-0`; amplification 31 820× at
+//!   25 MB.
+//! * §VII-A — Fastly acknowledged the report and investigated mitigations.
+
+use rangeamp_http::range::ByteRangeSpec;
+
+use super::{coalesced_forward, deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions, VendorProfile};
+use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy};
+
+/// Calibrated so a single-part 206 to the SBR probe is ≈ 820 wire bytes
+/// (Table IV: 26 214 650 / 31 820 ≈ 824 at 25 MB).
+const PAD: usize = 385;
+
+pub(super) fn profile() -> VendorProfile {
+    VendorProfile {
+        vendor: Vendor::Fastly,
+        limits: HeaderLimits::default(),
+        multi_reply: MultiReplyPolicy::Coalesce,
+        cache_enabled: true,
+        keeps_backend_alive_on_abort: false,
+        mitigation: MitigationConfig::none(),
+        extra_headers: vec![
+            ("Via", "1.1 varnish".to_string()),
+            ("X-Served-By", "cache-fra19131-FRA".to_string()),
+            ("X-Cache-Hits", "0".to_string()),
+            ("X-Timer", "S1577923200.155811,VS0,VE152".to_string()),
+            ("Vary", "Accept-Encoding".to_string()),
+            pad_header(PAD),
+        ],
+        options: VendorOptions::default(),
+    }
+}
+
+pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> MissResult {
+    let Some(header) = ctx.range.clone() else {
+        return laziness(ctx);
+    };
+    if header.is_multi() {
+        return coalesced_forward(&profile(), ctx);
+    }
+    match header.specs()[0] {
+        ByteRangeSpec::FromTo { .. } | ByteRangeSpec::Suffix { .. } => deletion(ctx),
+        ByteRangeSpec::From { .. } => laziness(ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::*;
+    use super::*;
+
+    #[test]
+    fn deletes_first_last_and_suffix() {
+        for range in ["bytes=0-0", "bytes=-1"] {
+            let run = run_vendor(Vendor::Fastly, 1 << 20, range);
+            assert_eq!(run.forwarded, vec![None], "case {range}");
+            assert!(run.origin_response_bytes > 1 << 20);
+        }
+    }
+
+    #[test]
+    fn open_ended_is_lazy() {
+        let run = run_vendor(Vendor::Fastly, 1 << 20, "bytes=100-");
+        assert_eq!(run.forwarded, vec![Some("bytes=100-".to_string())]);
+    }
+
+    #[test]
+    fn multi_is_coalesced() {
+        let run = run_vendor(Vendor::Fastly, 4096, "bytes=0-,0-");
+        assert_eq!(run.forwarded, vec![Some("bytes=0-".to_string())]);
+    }
+}

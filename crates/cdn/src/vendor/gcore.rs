@@ -1,0 +1,91 @@
+//! G-Core Labs behaviour profile.
+//!
+//! Paper findings:
+//! * Table I — *Deletion* for `bytes=first-last` and `bytes=-suffix`.
+//! * Table IV — the largest amplification of all vendors alongside
+//!   Akamai (43 330× at 25 MB) because G-Core inserts few response
+//!   headers.
+//! * §VII-A — post-disclosure, G-Core enabled its `slice` option by
+//!   default, which adopts the *Laziness* policy; model that with
+//!   [`MitigationConfig::force_laziness`].
+//!
+//! [`MitigationConfig::force_laziness`]: crate::MitigationConfig
+
+use rangeamp_http::range::ByteRangeSpec;
+
+use super::{coalesced_forward, deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions, VendorProfile};
+use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy};
+
+/// Calibrated so a single-part 206 to the SBR probe is ≈ 605 wire bytes
+/// (Table IV: 26 214 650 / 43 330 ≈ 605 at 25 MB).
+const PAD: usize = 259;
+
+pub(super) fn profile() -> VendorProfile {
+    VendorProfile {
+        vendor: Vendor::GCoreLabs,
+        limits: HeaderLimits::default(),
+        multi_reply: MultiReplyPolicy::Coalesce,
+        cache_enabled: true,
+        keeps_backend_alive_on_abort: false,
+        mitigation: MitigationConfig::none(),
+        extra_headers: vec![
+            ("Server", "nginx".to_string()),
+            ("X-ID", "fr5-up-e2".to_string()),
+            pad_header(PAD),
+        ],
+        options: VendorOptions::default(),
+    }
+}
+
+pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> MissResult {
+    let Some(header) = ctx.range.clone() else {
+        return laziness(ctx);
+    };
+    if header.is_multi() {
+        return coalesced_forward(&profile(), ctx);
+    }
+    match header.specs()[0] {
+        ByteRangeSpec::FromTo { .. } | ByteRangeSpec::Suffix { .. } => deletion(ctx),
+        ByteRangeSpec::From { .. } => laziness(ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::*;
+    use super::*;
+    use crate::MitigationConfig;
+
+    #[test]
+    fn deletes_first_last_and_suffix() {
+        for range in ["bytes=0-0", "bytes=-1"] {
+            let run = run_vendor(Vendor::GCoreLabs, 1 << 20, range);
+            assert_eq!(run.forwarded, vec![None], "case {range}");
+        }
+    }
+
+    #[test]
+    fn slice_fix_restores_laziness() {
+        // The §VII-A fix: slice option on = Laziness.
+        let profile = profile().with_mitigation(MitigationConfig {
+            force_laziness: true,
+            ..MitigationConfig::none()
+        });
+        let run = run_vendor_with_profile(profile, 1 << 20, "bytes=0-0", true);
+        assert_eq!(run.forwarded, vec![Some("bytes=0-0".to_string())]);
+        assert!(run.origin_response_bytes < 2048);
+    }
+
+    #[test]
+    fn lean_header_set() {
+        // Fewer injected headers than Cloudflare → larger amplification.
+        let gcore: usize = profile().extra_headers.iter().map(|(n, v)| n.len() + v.len() + 4).sum();
+        let cloudflare: usize = Vendor::Cloudflare
+            .profile()
+            .extra_headers
+            .iter()
+            .map(|(n, v)| n.len() + v.len() + 4)
+            .sum();
+        assert!(gcore < cloudflare);
+    }
+}

@@ -1,0 +1,132 @@
+//! Huawei Cloud behaviour profile.
+//!
+//! Paper findings (Table I, conditional on the `Range` origin-pull option
+//! being *enabled* — the opposite polarity of Alibaba/Tencent):
+//! * `bytes=-suffix` with F < 10 MB → *Deletion* (one full fetch).
+//! * `bytes=first-last` with F ≥ 10 MB → "None & None": two full
+//!   back-to-origin fetches for a single client request, which is why the
+//!   Table IV exploited case switches from `bytes=-1` to `bytes=0-0` at
+//!   10 MB and the measured client-side traffic roughly doubles.
+//! * §VII-A — Huawei rated the issue high-risk and fixed it.
+
+use rangeamp_http::range::ByteRangeSpec;
+
+use super::{coalesced_forward, deletion, laziness, pad_header, MissCtx, MissReply, MissResult, Vendor, VendorOptions, VendorProfile};
+use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy};
+
+/// Threshold between the suffix-deletion and the double-fetch regimes.
+pub(crate) const SIZE_THRESHOLD: u64 = 10 * 1024 * 1024;
+
+/// Calibrated so a single-part 206 to the SBR probe is ≈ 716 wire bytes
+/// (Table IV: 1 048 826 / 1 465 ≈ 716 at 1 MB).
+const PAD: usize = 334;
+
+/// Extra per-response header bytes on the double-fetch path, calibrated so
+/// client traffic ≈ 1 440 bytes there (Table IV: 2 × 26 214 650 / 36 335).
+const DOUBLE_PATH_PAD: usize = 714;
+
+pub(super) fn profile() -> VendorProfile {
+    VendorProfile {
+        vendor: Vendor::HuaweiCloud,
+        limits: HeaderLimits::default(),
+        multi_reply: MultiReplyPolicy::Coalesce,
+        cache_enabled: true,
+        keeps_backend_alive_on_abort: false,
+        mitigation: MitigationConfig::none(),
+        extra_headers: vec![
+            ("Server", "CDN".to_string()),
+            ("X-CCDN-CacheTTL", "3600".to_string()),
+            ("X-HCS-Proxy-Type", "1".to_string()),
+            pad_header(PAD),
+        ],
+        options: VendorOptions::default(),
+    }
+}
+
+pub(super) fn handle_miss(profile: &VendorProfile, ctx: &mut MissCtx<'_>) -> MissResult {
+    let Some(header) = ctx.range.clone() else {
+        return laziness(ctx);
+    };
+    if !profile.options.huawei_range_option_enabled {
+        // Hardened: option disabled ⇒ ranges relayed verbatim.
+        if header.is_multi() {
+            return coalesced_forward(profile, ctx);
+        }
+        return laziness(ctx);
+    }
+    if header.is_multi() {
+        return coalesced_forward(profile, ctx);
+    }
+    let size = ctx.resource_size;
+    match header.specs()[0] {
+        ByteRangeSpec::Suffix { .. } if size.is_none_or(|s| s < SIZE_THRESHOLD) => {
+            deletion(ctx)
+        }
+        ByteRangeSpec::FromTo { .. } if size.is_some_and(|s| s >= SIZE_THRESHOLD) => {
+            // "None & None": a validation fetch followed by the real one.
+            let _first_fetch = ctx.fetch(None);
+            let full = ctx.fetch(None);
+            let mut result = MissResult::new(MissReply::ServeFromFull(full), true);
+            result
+                .extra_headers
+                .push(("X-HCS-Origin-Detail".to_string(), "f".repeat(DOUBLE_PATH_PAD)));
+            result
+        }
+        _ => laziness(ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::*;
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn small_file_suffix_is_deleted() {
+        let run = run_vendor(Vendor::HuaweiCloud, MB, "bytes=-1");
+        assert_eq!(run.forwarded, vec![None]);
+        assert!(run.origin_response_bytes > MB);
+    }
+
+    #[test]
+    fn small_file_first_last_is_lazy() {
+        let run = run_vendor(Vendor::HuaweiCloud, MB, "bytes=0-0");
+        assert_eq!(run.forwarded, vec![Some("bytes=0-0".to_string())]);
+        assert!(run.origin_response_bytes < 4096);
+    }
+
+    #[test]
+    fn large_file_first_last_double_fetches() {
+        let run = run_vendor(Vendor::HuaweiCloud, 12 * MB, "bytes=0-0");
+        assert_eq!(run.forwarded, vec![None, None], "None & None (Table I)");
+        assert!(
+            run.origin_response_bytes > 24 * MB,
+            "two full copies expected, got {}",
+            run.origin_response_bytes
+        );
+        assert_eq!(run.client_response.body().len(), 1);
+    }
+
+    #[test]
+    fn large_file_suffix_is_lazy() {
+        let run = run_vendor(Vendor::HuaweiCloud, 12 * MB, "bytes=-1");
+        assert_eq!(run.forwarded, vec![Some("bytes=-1".to_string())]);
+    }
+
+    #[test]
+    fn hardened_option_disables_everything() {
+        let mut profile = profile();
+        profile.options.huawei_range_option_enabled = false;
+        let run = run_vendor_with_profile(profile, MB, "bytes=-1", true);
+        assert_eq!(run.forwarded, vec![Some("bytes=-1".to_string())]);
+    }
+
+    #[test]
+    fn threshold_boundary() {
+        // Exactly 10 MB is the large-file regime.
+        let run = run_vendor(Vendor::HuaweiCloud, SIZE_THRESHOLD, "bytes=0-0");
+        assert_eq!(run.forwarded, vec![None, None]);
+    }
+}

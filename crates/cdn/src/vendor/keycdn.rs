@@ -1,0 +1,113 @@
+//! KeyCDN behaviour profile.
+//!
+//! Paper findings (§V-A item 4, Table I):
+//! * For `bytes=first-last` KeyCDN first adopts *Laziness* and does not
+//!   cache the partial response. On the *same* range request again it
+//!   adopts *Deletion* and caches — so the attacker sends every request
+//!   twice ("bytes=0-0 & bytes=0-0", Table IV), and KeyCDN produces the
+//!   largest origin-side traffic of all vendors (Fig 6c) at the cost of
+//!   the lowest amplification factor (17 744× at 25 MB).
+
+use rangeamp_http::range::ByteRangeSpec;
+
+use super::{coalesced_forward, deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions, VendorProfile};
+use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy};
+
+/// Calibrated so each of the two 206 responses is ≈ 739 wire bytes
+/// (Table IV: (2 × 26 214 650 + small) / 17 744 ≈ 2 × 739 at 25 MB).
+const PAD: usize = 343;
+
+pub(super) fn profile() -> VendorProfile {
+    VendorProfile {
+        vendor: Vendor::KeyCdn,
+        limits: HeaderLimits::default(),
+        multi_reply: MultiReplyPolicy::Coalesce,
+        cache_enabled: true,
+        keeps_backend_alive_on_abort: false,
+        mitigation: MitigationConfig::none(),
+        extra_headers: vec![
+            ("Server", "keycdn-engine".to_string()),
+            ("X-Edge-Location", "defr".to_string()),
+            ("X-Cache-Key", "unmodified".to_string()),
+            pad_header(PAD),
+        ],
+        options: VendorOptions::default(),
+    }
+}
+
+pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> MissResult {
+    let Some(header) = ctx.range.clone() else {
+        return laziness(ctx);
+    };
+    if header.is_multi() {
+        return coalesced_forward(&profile(), ctx);
+    }
+    match header.specs()[0] {
+        ByteRangeSpec::FromTo { .. } => {
+            if ctx.mark_seen() {
+                // Second request for the same key: Deletion + cache.
+                deletion(ctx)
+            } else {
+                // First request: Laziness, nothing cached.
+                let resp = ctx.fetch(ctx.range.as_ref());
+                MissResult::new(super::MissReply::Passthrough(resp), false)
+            }
+        }
+        _ => laziness(ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::*;
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn first_request_is_lazy_second_is_deleted() {
+        let bed = VendorBed::new(Vendor::KeyCdn, MB);
+        let run1 = bed.run("bytes=0-0");
+        assert_eq!(run1.forwarded, vec![Some("bytes=0-0".to_string())]);
+        assert!(run1.origin_response_bytes < 4096, "no amplification yet");
+
+        let run2 = bed.run("bytes=0-0");
+        assert_eq!(
+            run2.forwarded,
+            vec![Some("bytes=0-0".to_string()), None],
+            "cumulative capture: lazy then deleted"
+        );
+        assert!(run2.origin_response_bytes > MB, "second request amplifies");
+    }
+
+    #[test]
+    fn third_request_hits_the_cache() {
+        let bed = VendorBed::new(Vendor::KeyCdn, MB);
+        bed.run("bytes=0-0");
+        bed.run("bytes=0-0");
+        let run3 = bed.run("bytes=0-0");
+        assert_eq!(run3.origin_request_count, 2, "no third origin fetch");
+    }
+
+    #[test]
+    fn suffix_is_always_lazy() {
+        let bed = VendorBed::new(Vendor::KeyCdn, MB);
+        bed.run("bytes=-1");
+        let run2 = bed.run("bytes=-1");
+        assert_eq!(
+            run2.forwarded,
+            vec![Some("bytes=-1".to_string()), Some("bytes=-1".to_string())]
+        );
+    }
+
+    #[test]
+    fn different_query_strings_are_independent_keys() {
+        // Cache-busting resets the two-step dance, so the attacker pairs
+        // requests per query string.
+        let bed = VendorBed::new(Vendor::KeyCdn, MB);
+        let r1 = bed.run_uri("/target.bin?rnd=1", "bytes=0-0");
+        let r2 = bed.run_uri("/target.bin?rnd=2", "bytes=0-0");
+        assert_eq!(r1.forwarded.last().unwrap(), &Some("bytes=0-0".to_string()));
+        assert_eq!(r2.forwarded.last().unwrap(), &Some("bytes=0-0".to_string()));
+    }
+}

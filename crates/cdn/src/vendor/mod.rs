@@ -1,0 +1,610 @@
+//! The 13 CDN vendor behaviour profiles (paper §III, Tables I–III, §V-C).
+//!
+//! Each vendor module implements two things:
+//!
+//! * `profile()` — the declarative part: header limits, multi-range reply
+//!   policy, response header overhead (calibrated against Table IV /
+//!   Fig 6 client-side traffic), cache behaviour;
+//! * `handle_miss()` — the mechanistic part: how the vendor interacts
+//!   with the upstream on a cache miss, including every conditional rule
+//!   of Table I (Azure's dual connection, KeyCDN's request-twice
+//!   behaviour, StackPath's 206-triggered re-forward, CloudFront's 1 MB
+//!   alignment arithmetic, Huawei's 10 MB threshold, ...).
+
+mod akamai;
+mod alibaba;
+mod azure;
+mod cdn77;
+mod cdnsun;
+mod cloudflare;
+mod cloudfront;
+mod fastly;
+mod gcore;
+mod huawei;
+mod keycdn;
+mod stackpath;
+mod tencent;
+
+use std::fmt;
+
+use rangeamp_http::range::RangeHeader;
+use rangeamp_http::{Request, Response, StatusCode};
+use rangeamp_net::Segment;
+
+use crate::{Cache, HeaderLimits, MitigationConfig, MultiReplyPolicy, UpstreamService};
+
+/// The 13 CDN vendors examined by the paper (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Vendor {
+    /// Akamai.
+    Akamai,
+    /// Alibaba Cloud.
+    AlibabaCloud,
+    /// Azure CDN.
+    Azure,
+    /// CDN77.
+    Cdn77,
+    /// CDNsun.
+    CdnSun,
+    /// Cloudflare.
+    Cloudflare,
+    /// Amazon CloudFront.
+    CloudFront,
+    /// Fastly.
+    Fastly,
+    /// G-Core Labs.
+    GCoreLabs,
+    /// Huawei Cloud.
+    HuaweiCloud,
+    /// KeyCDN.
+    KeyCdn,
+    /// StackPath.
+    StackPath,
+    /// Tencent Cloud.
+    TencentCloud,
+}
+
+impl Vendor {
+    /// All vendors in the paper's (alphabetical) order.
+    pub const ALL: [Vendor; 13] = [
+        Vendor::Akamai,
+        Vendor::AlibabaCloud,
+        Vendor::Azure,
+        Vendor::Cdn77,
+        Vendor::CdnSun,
+        Vendor::Cloudflare,
+        Vendor::CloudFront,
+        Vendor::Fastly,
+        Vendor::GCoreLabs,
+        Vendor::HuaweiCloud,
+        Vendor::KeyCdn,
+        Vendor::StackPath,
+        Vendor::TencentCloud,
+    ];
+
+    /// Marketing name as printed in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Vendor::Akamai => "Akamai",
+            Vendor::AlibabaCloud => "Alibaba Cloud",
+            Vendor::Azure => "Azure",
+            Vendor::Cdn77 => "CDN77",
+            Vendor::CdnSun => "CDNsun",
+            Vendor::Cloudflare => "Cloudflare",
+            Vendor::CloudFront => "CloudFront",
+            Vendor::Fastly => "Fastly",
+            Vendor::GCoreLabs => "G-Core Labs",
+            Vendor::HuaweiCloud => "Huawei Cloud",
+            Vendor::KeyCdn => "KeyCDN",
+            Vendor::StackPath => "StackPath",
+            Vendor::TencentCloud => "Tencent Cloud",
+        }
+    }
+
+    /// The vendor's default profile with the configuration the paper found
+    /// vulnerable (Table I footnotes: Alibaba/Tencent `Range` option
+    /// *disabled*, Huawei's *enabled*, Cloudflare target path cacheable).
+    pub fn profile(&self) -> VendorProfile {
+        match self {
+            Vendor::Akamai => akamai::profile(),
+            Vendor::AlibabaCloud => alibaba::profile(),
+            Vendor::Azure => azure::profile(),
+            Vendor::Cdn77 => cdn77::profile(),
+            Vendor::CdnSun => cdnsun::profile(),
+            Vendor::Cloudflare => cloudflare::profile(),
+            Vendor::CloudFront => cloudfront::profile(),
+            Vendor::Fastly => fastly::profile(),
+            Vendor::GCoreLabs => gcore::profile(),
+            Vendor::HuaweiCloud => huawei::profile(),
+            Vendor::KeyCdn => keycdn::profile(),
+            Vendor::StackPath => stackpath::profile(),
+            Vendor::TencentCloud => tencent::profile(),
+        }
+    }
+
+    /// Profile configured as an OBR front-end CDN (Table II): identical to
+    /// [`Vendor::profile`] except for Cloudflare, whose FCDN vulnerability
+    /// requires the target path configured as *Bypass* (not cached).
+    pub fn fcdn_profile(&self) -> VendorProfile {
+        match self {
+            Vendor::Cloudflare => cloudflare::bypass_profile(),
+            other => other.profile(),
+        }
+    }
+
+    /// Whether Table II lists this vendor as OBR-FCDN-vulnerable.
+    pub fn is_fcdn_vulnerable(&self) -> bool {
+        matches!(
+            self,
+            Vendor::Cdn77 | Vendor::CdnSun | Vendor::Cloudflare | Vendor::StackPath
+        )
+    }
+
+    /// Whether Table III lists this vendor as OBR-BCDN-vulnerable.
+    pub fn is_bcdn_vulnerable(&self) -> bool {
+        matches!(self, Vendor::Akamai | Vendor::Azure | Vendor::StackPath)
+    }
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A vendor's complete behaviour profile.
+#[derive(Debug, Clone)]
+pub struct VendorProfile {
+    /// Which vendor this is.
+    pub vendor: Vendor,
+    /// Request-header size limits (§V-C).
+    pub limits: HeaderLimits,
+    /// Reply policy for multi-range requests served from a full copy.
+    pub multi_reply: MultiReplyPolicy,
+    /// Whether the edge caches full representations (Cloudflare in
+    /// *Bypass* mode does not).
+    pub cache_enabled: bool,
+    /// Whether the back-to-origin connection survives a client abort
+    /// (paper §IV-C names CDNsun and CDN77).
+    pub keeps_backend_alive_on_abort: bool,
+    /// Active CDN-side mitigations (none by default).
+    pub mitigation: MitigationConfig,
+    /// Headers this vendor injects into client-facing responses. Their
+    /// total size is calibrated so client-side response traffic matches
+    /// Table IV / Fig 6b (Akamai and G-Core insert fewer headers than
+    /// Cloudflare, hence their larger amplification factors).
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// Vendor-specific toggles.
+    pub options: VendorOptions,
+}
+
+/// Configurable vendor options surfaced by the paper's Table I footnotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VendorOptions {
+    /// Alibaba/Tencent `Range` option: `true` ⇒ back-to-origin requests
+    /// carry no `Range` header (the vulnerable setting).
+    pub range_option_deletes: bool,
+    /// Huawei's `Range` option: vulnerable when *enabled*.
+    pub huawei_range_option_enabled: bool,
+    /// Cloudflare cache rule for the target path: `true` = *Bypass*
+    /// (OBR-FCDN-vulnerable), `false` = cacheable (SBR-vulnerable).
+    pub cloudflare_bypass: bool,
+}
+
+impl Default for VendorOptions {
+    fn default() -> VendorOptions {
+        VendorOptions {
+            range_option_deletes: true,
+            huawei_range_option_enabled: true,
+            cloudflare_bypass: false,
+        }
+    }
+}
+
+impl VendorProfile {
+    /// Returns a copy with the given mitigation applied (used by the
+    /// ablation benches).
+    pub fn with_mitigation(mut self, mitigation: MitigationConfig) -> VendorProfile {
+        self.mitigation = mitigation;
+        self
+    }
+
+    /// The identifier this vendor's edges write into upstream `Via`
+    /// headers (RFC 7230 §5.7.1) — also what the OBR max-n solver must
+    /// budget for on the forwarded request.
+    pub fn via_token(&self) -> String {
+        format!("{}-edge", self.vendor.name().to_lowercase().replace(' ', "-"))
+    }
+}
+
+/// Everything a vendor's miss handler may do: inspect the request, probe
+/// representation metadata, and perform metered upstream fetches.
+pub struct MissCtx<'a> {
+    /// The client's request.
+    pub req: &'a Request,
+    /// The client's parsed `Range` header, if present and valid.
+    pub range: Option<RangeHeader>,
+    /// Representation size, when metadata is available.
+    pub resource_size: Option<u64>,
+    pub(crate) upstream: &'a dyn UpstreamService,
+    pub(crate) segment: &'a Segment,
+    pub(crate) cache: &'a Cache,
+    pub(crate) cache_key: String,
+    /// When the client aborted and this vendor drops back-end connections
+    /// on abort (paper §IV-C), upstream transfers stop after roughly this
+    /// many payload bytes.
+    pub(crate) backend_truncate: Option<u64>,
+    /// Identifier appended in the upstream `Via` header.
+    pub(crate) via_token: &'a str,
+}
+
+impl fmt::Debug for MissCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MissCtx")
+            .field("uri", &self.req.uri().to_string())
+            .field("range", &self.range.as_ref().map(|r| r.to_string()))
+            .field("resource_size", &self.resource_size)
+            .finish()
+    }
+}
+
+impl MissCtx<'_> {
+    /// Performs a metered back-to-origin fetch with the `Range` header
+    /// replaced by `range` (`None` ⇒ *Deletion*).
+    ///
+    /// If the client has aborted and the vendor does not keep back-end
+    /// connections alive, the transfer is truncated (§IV-C: most CDNs
+    /// "break the corresponding back-end connections when the front-end
+    /// connections are abnormally cut off" — the Triukose et al. defense
+    /// the paper discusses in §VIII).
+    pub fn fetch(&self, range: Option<&RangeHeader>) -> Response {
+        if let Some(limit) = self.backend_truncate {
+            return self.fetch_truncated(range, limit);
+        }
+        let req = self.build_upstream_request(range);
+        self.segment.send_request(&req);
+        let resp = self.upstream.handle(&req);
+        self.segment.send_response(&resp);
+        resp
+    }
+
+    /// Like [`MissCtx::fetch`], but the edge aborts the connection once
+    /// roughly `payload_limit` body bytes have arrived (Azure's 8 MB
+    /// window, §V-A). The overshoot models in-flight data at abort time
+    /// ("actual response traffic ... a little larger than 8 MB").
+    ///
+    /// The returned response carries only the received body prefix.
+    pub fn fetch_truncated(&self, range: Option<&RangeHeader>, payload_limit: u64) -> Response {
+        const ABORT_OVERSHOOT: u64 = 64 * 1024;
+        let req = self.build_upstream_request(range);
+        self.segment.send_request(&req);
+        let mut resp = self.upstream.handle(&req);
+        let received_body = resp.body().len().min(payload_limit + ABORT_OVERSHOOT);
+        let header_bytes = resp.wire_len() - resp.body().len();
+        self.segment
+            .send_response_truncated(&resp, header_bytes + received_body);
+        if received_body < resp.body().len() {
+            let truncated = resp.body().slice(0, received_body);
+            resp.set_body(truncated);
+        }
+        resp
+    }
+
+    /// Marks the cache key as previously requested, returning whether it
+    /// already was (KeyCDN's two-step behaviour).
+    pub fn mark_seen(&self) -> bool {
+        self.cache.mark_seen(&self.cache_key)
+    }
+
+    fn build_upstream_request(&self, range: Option<&RangeHeader>) -> Request {
+        let mut req = self.req.clone();
+        req.headers_mut().remove("Range");
+        if let Some(range) = range {
+            req.headers_mut().append("Range", range.to_string());
+        }
+        // RFC 7230 §5.7.1: proxies append themselves to Via. This is also
+        // the loop-detection breadcrumb (forwarding-loop attacks, paper
+        // §VIII / Chen et al.).
+        req.headers_mut().append("Via", format!("1.1 {}", self.via_token));
+        req
+    }
+}
+
+/// What the node should tell the client after a miss was handled.
+#[derive(Debug)]
+pub struct MissResult {
+    /// The reply strategy.
+    pub reply: MissReply,
+    /// Whether a full 200 obtained along the way may be cached.
+    pub cacheable: bool,
+    /// Additional path-specific response headers (beyond the profile's
+    /// standing `extra_headers`).
+    pub extra_headers: Vec<(String, String)>,
+}
+
+impl MissResult {
+    /// Convenience constructor with no extra headers.
+    pub fn new(reply: MissReply, cacheable: bool) -> MissResult {
+        MissResult {
+            reply,
+            cacheable,
+            extra_headers: Vec::new(),
+        }
+    }
+}
+
+/// Reply strategies a vendor can pick.
+#[derive(Debug)]
+pub enum MissReply {
+    /// Relay an upstream response as the client response basis (the
+    /// *Laziness* outcome).
+    Passthrough(Response),
+    /// The edge holds (what it believes is) the full representation;
+    /// the node slices it to the client's requested range(s).
+    ServeFromFull(Response),
+    /// The vendor assembled the exact client-facing response itself
+    /// (used by the Azure window and CloudFront expansion paths).
+    Direct(Response),
+    /// Refuse the request.
+    Reject(StatusCode),
+}
+
+/// Dispatches a cache miss to the vendor's mechanistic handler.
+pub(crate) fn handle_miss(profile: &VendorProfile, ctx: &mut MissCtx<'_>) -> MissResult {
+    match profile.vendor {
+        Vendor::Akamai => akamai::handle_miss(ctx),
+        Vendor::AlibabaCloud => alibaba::handle_miss(profile, ctx),
+        Vendor::Azure => azure::handle_miss(ctx),
+        Vendor::Cdn77 => cdn77::handle_miss(ctx),
+        Vendor::CdnSun => cdnsun::handle_miss(ctx),
+        Vendor::Cloudflare => cloudflare::handle_miss(profile, ctx),
+        Vendor::CloudFront => cloudfront::handle_miss(ctx),
+        Vendor::Fastly => fastly::handle_miss(ctx),
+        Vendor::GCoreLabs => gcore::handle_miss(ctx),
+        Vendor::HuaweiCloud => huawei::handle_miss(profile, ctx),
+        Vendor::KeyCdn => keycdn::handle_miss(ctx),
+        Vendor::StackPath => stackpath::handle_miss(ctx),
+        Vendor::TencentCloud => tencent::handle_miss(profile, ctx),
+    }
+}
+
+/// Shared helper: the plain *Laziness* outcome.
+pub(crate) fn laziness(ctx: &MissCtx<'_>) -> MissResult {
+    let resp = ctx.fetch(ctx.range.as_ref());
+    let cacheable = ctx.range.is_none();
+    MissResult::new(MissReply::Passthrough(resp), cacheable)
+}
+
+/// Shared helper: the plain *Deletion* outcome.
+pub(crate) fn deletion(ctx: &MissCtx<'_>) -> MissResult {
+    let resp = ctx.fetch(None);
+    MissResult::new(MissReply::ServeFromFull(resp), true)
+}
+
+/// Shared helper for multi-range requests on vendors that neither forward
+/// them unchanged (Table II) nor delete the header: coalesce the set and
+/// forward the merged range, so back-to-origin traffic never exceeds the
+/// requested span. The client reply is assembled from the partial per the
+/// vendor's multi-range reply policy.
+pub(crate) fn coalesced_forward(profile: &VendorProfile, ctx: &MissCtx<'_>) -> MissResult {
+    use rangeamp_http::range::{coalesce, ByteRangeSpec};
+
+    let header = ctx
+        .range
+        .as_ref()
+        .expect("coalesced_forward requires a Range header");
+    let Some(complete) = ctx.resource_size else {
+        // No metadata: forward the first range only (conservative).
+        let first = RangeHeader::new(vec![header.specs()[0]])
+            .expect("first spec of a valid header is valid");
+        let resp = ctx.fetch(Some(&first));
+        return MissResult::new(MissReply::Passthrough(resp), false);
+    };
+    let merged = coalesce(&header.resolve(complete));
+    match merged.len() {
+        0 => MissResult::new(
+            MissReply::Direct(crate::assemble::not_satisfiable(complete)),
+            false,
+        ),
+        1 => {
+            let r = merged[0];
+            let spec = if r.last + 1 == complete {
+                ByteRangeSpec::From { first: r.first }
+            } else {
+                ByteRangeSpec::FromTo { first: r.first, last: r.last }
+            };
+            let forwarded = RangeHeader::new(vec![spec]).expect("merged spec is valid");
+            let resp = ctx.fetch(Some(&forwarded));
+            match resp.status().as_u16() {
+                200 => MissResult::new(MissReply::ServeFromFull(resp), true),
+                206 => {
+                    match crate::assemble::serve_from_partial(header, &resp, profile.multi_reply)
+                    {
+                        Some(client_resp) => {
+                            MissResult::new(MissReply::Direct(client_resp), false)
+                        }
+                        None => MissResult::new(MissReply::Passthrough(resp), false),
+                    }
+                }
+                _ => MissResult::new(MissReply::Passthrough(resp), false),
+            }
+        }
+        _ => {
+            // Disjoint after merging: forward the merged set; the origin's
+            // multipart reply (or full 200) flows back per its own shape.
+            let specs = merged
+                .iter()
+                .map(|r| {
+                    if r.last + 1 == complete {
+                        ByteRangeSpec::From { first: r.first }
+                    } else {
+                        ByteRangeSpec::FromTo { first: r.first, last: r.last }
+                    }
+                })
+                .collect();
+            let forwarded = RangeHeader::new(specs).expect("merged specs are valid");
+            let resp = ctx.fetch(Some(&forwarded));
+            if resp.status().as_u16() == 200 {
+                MissResult::new(MissReply::ServeFromFull(resp), true)
+            } else {
+                MissResult::new(MissReply::Passthrough(resp), false)
+            }
+        }
+    }
+}
+
+/// Shared helper: a pad header sized to calibrate a vendor's client-side
+/// response overhead against the paper's Fig 6b measurements.
+pub(crate) fn pad_header(len: usize) -> (&'static str, String) {
+    ("X-Edge-Trace", "0123456789abcdef".chars().cycle().take(len).collect())
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    //! Miniature single-CDN testbed shared by the vendor unit tests.
+
+    use std::sync::Arc;
+
+    use rangeamp_http::{Request, Response};
+    use rangeamp_net::{Segment, SegmentName};
+    use rangeamp_origin::{OriginConfig, OriginServer, ResourceStore};
+
+    use super::{Vendor, VendorProfile};
+    use crate::EdgeNode;
+
+    /// Everything a vendor test wants to assert on after one request.
+    pub(crate) struct VendorRun {
+        /// `Range` values of back-to-origin requests, in order
+        /// (cumulative when reusing a [`VendorBed`]).
+        pub forwarded: Vec<Option<String>>,
+        /// Total origin-side response bytes (cumulative on a bed).
+        pub origin_response_bytes: u64,
+        /// Number of back-to-origin requests (cumulative on a bed).
+        pub origin_request_count: u64,
+        /// The client-facing response of the *latest* request.
+        pub client_response: Response,
+    }
+
+    /// A reusable edge+origin pair (for multi-request behaviours like
+    /// KeyCDN's request-twice dance).
+    pub(crate) struct VendorBed {
+        edge: EdgeNode,
+        segment: Segment,
+    }
+
+    impl VendorBed {
+        pub(crate) fn new(vendor: Vendor, size: u64) -> VendorBed {
+            VendorBed::with_profile(vendor.profile(), size, true)
+        }
+
+        pub(crate) fn with_profile(
+            profile: VendorProfile,
+            size: u64,
+            ranges_enabled: bool,
+        ) -> VendorBed {
+            let mut store = ResourceStore::new();
+            store.add_synthetic("/target.bin", size, "application/octet-stream");
+            let config = if ranges_enabled {
+                OriginConfig::apache_default()
+            } else {
+                OriginConfig::ranges_disabled()
+            };
+            let origin = Arc::new(OriginServer::with_config(store, config));
+            let segment = Segment::new(SegmentName::CdnOrigin);
+            VendorBed {
+                edge: EdgeNode::new(profile, origin, segment.clone()),
+                segment,
+            }
+        }
+
+        pub(crate) fn run(&self, range: &str) -> VendorRun {
+            self.run_uri("/target.bin", range)
+        }
+
+        pub(crate) fn run_uri(&self, uri: &str, range: &str) -> VendorRun {
+            let req = Request::get(uri)
+                .header("Host", "victim.example")
+                .header("Range", range)
+                .build();
+            let client_response = self.edge.handle(&req);
+            let stats = self.segment.stats();
+            VendorRun {
+                forwarded: self.segment.capture().forwarded_ranges(),
+                origin_response_bytes: stats.response_bytes,
+                origin_request_count: stats.requests,
+                client_response,
+            }
+        }
+    }
+
+    pub(crate) fn run_vendor(vendor: Vendor, size: u64, range: &str) -> VendorRun {
+        VendorBed::new(vendor, size).run(range)
+    }
+
+    pub(crate) fn run_vendor_ranges_disabled(vendor: Vendor, size: u64, range: &str) -> VendorRun {
+        VendorBed::with_profile(vendor.profile(), size, false).run(range)
+    }
+
+    pub(crate) fn run_vendor_with_profile(
+        profile: VendorProfile,
+        size: u64,
+        range: &str,
+        ranges_enabled: bool,
+    ) -> VendorRun {
+        VendorBed::with_profile(profile, size, ranges_enabled).run(range)
+    }
+
+    /// `bytes=0-,0-,...,0-` with `n` ranges.
+    pub(crate) fn obr_header(n: usize) -> String {
+        crate::ObrRangeCase::AllZeroOpen.header(n).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_vendors_have_distinct_names() {
+        let mut names: Vec<_> = Vendor::ALL.iter().map(|v| v.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 13);
+    }
+
+    #[test]
+    fn obr_eligibility_matches_tables_ii_and_iii() {
+        let fcdns: Vec<_> = Vendor::ALL.iter().filter(|v| v.is_fcdn_vulnerable()).collect();
+        let bcdns: Vec<_> = Vendor::ALL.iter().filter(|v| v.is_bcdn_vulnerable()).collect();
+        assert_eq!(fcdns.len(), 4, "Table II lists 4 FCDNs");
+        assert_eq!(bcdns.len(), 3, "Table III lists 3 BCDNs");
+        // 4 × 3 minus the StackPath-with-itself case = 11 combos (Table V).
+        let combos = fcdns.len() * bcdns.len() - 1;
+        assert_eq!(combos, 11);
+    }
+
+    #[test]
+    fn every_profile_is_constructible() {
+        for vendor in Vendor::ALL {
+            let profile = vendor.profile();
+            assert_eq!(profile.vendor, vendor);
+            let _ = vendor.fcdn_profile();
+        }
+    }
+
+    #[test]
+    fn cloudflare_fcdn_profile_disables_cache() {
+        assert!(Vendor::Cloudflare.profile().cache_enabled);
+        assert!(!Vendor::Cloudflare.fcdn_profile().cache_enabled);
+        // Other vendors' fcdn profile is their default profile.
+        assert!(Vendor::Cdn77.fcdn_profile().cache_enabled);
+    }
+
+    #[test]
+    fn with_mitigation_overrides() {
+        let profile = Vendor::Akamai
+            .profile()
+            .with_mitigation(MitigationConfig::strict());
+        assert!(profile.mitigation.force_laziness);
+    }
+}

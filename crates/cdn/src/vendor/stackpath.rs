@@ -1,0 +1,124 @@
+//! StackPath behaviour profile.
+//!
+//! Paper findings (§V-A item 5, Tables I/II/III):
+//! * Single ranges: *Laziness* first; if the origin answers 206,
+//!   StackPath removes the `Range` header and forwards the request again
+//!   ("bytes=first-last [& None]") — SBR-vulnerable.
+//! * Multi-range headers are forwarded unchanged (OBR FCDN) and, when the
+//!   origin ignores ranges, answered with an n-part overlapping response
+//!   (OBR BCDN) — the only vendor on both sides of Table V (excluding the
+//!   self-cascade, which the paper leaves blank).
+//! * §V-C — total request headers limited to about 81 KB.
+//! * §VII-A — StackPath later deployed an OBR fix across all edges.
+
+use rangeamp_http::StatusCode;
+
+use super::{laziness, pad_header, MissCtx, MissReply, MissResult, Vendor, VendorOptions, VendorProfile};
+use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy};
+
+/// Calibrated so a single-part 206 to the SBR probe is ≈ 807 wire bytes
+/// (Table IV: 26 215 000 / 32 491 ≈ 807 at 25 MB).
+const PAD: usize = 403;
+
+pub(super) fn profile() -> VendorProfile {
+    VendorProfile {
+        vendor: Vendor::StackPath,
+        limits: HeaderLimits {
+            total_header_bytes: Some(81 * 1024),
+            ..HeaderLimits::default()
+        },
+        multi_reply: MultiReplyPolicy::NPartNoOverlapCheck,
+        cache_enabled: true,
+        keeps_backend_alive_on_abort: false,
+        mitigation: MitigationConfig::none(),
+        extra_headers: vec![
+            ("Server", "StackPath".to_string()),
+            ("X-SP-Edge", "fr2".to_string()),
+            ("X-HW", "1577923200.dop041.fr2.t,1577923200.cds060.fr2.shn".to_string()),
+            pad_header(PAD),
+        ],
+        options: VendorOptions::default(),
+    }
+}
+
+pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> MissResult {
+    let Some(header) = ctx.range.clone() else {
+        return laziness(ctx);
+    };
+    if header.is_multi() {
+        // Table II: forwarded unchanged. If the origin ignores ranges and
+        // ships a 200, StackPath serves the n-part overlapping reply
+        // (Table III) from it.
+        let resp = ctx.fetch(Some(&header));
+        return if resp.status() == StatusCode::OK {
+            MissResult::new(MissReply::ServeFromFull(resp), true)
+        } else {
+            MissResult::new(MissReply::Passthrough(resp), false)
+        };
+    }
+    // Single range: Laziness first...
+    let first = ctx.fetch(Some(&header));
+    match first.status() {
+        StatusCode::PARTIAL_CONTENT => {
+            // ...then the 206-triggered re-forward without Range.
+            let full = ctx.fetch(None);
+            MissResult::new(MissReply::ServeFromFull(full), true)
+        }
+        StatusCode::OK => MissResult::new(MissReply::ServeFromFull(first), true),
+        _ => MissResult::new(MissReply::Passthrough(first), false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::*;
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn single_range_triggers_lazy_then_deleted_double_fetch() {
+        let run = run_vendor(Vendor::StackPath, MB, "bytes=0-0");
+        assert_eq!(
+            run.forwarded,
+            vec![Some("bytes=0-0".to_string()), None],
+            "bytes=first-last [& None] (Table I)"
+        );
+        assert!(run.origin_response_bytes > MB);
+        assert_eq!(run.client_response.body().len(), 1);
+    }
+
+    #[test]
+    fn suffix_also_double_fetches() {
+        let run = run_vendor(Vendor::StackPath, MB, "bytes=-1");
+        assert_eq!(run.forwarded, vec![Some("bytes=-1".to_string()), None]);
+    }
+
+    #[test]
+    fn multi_forwarded_unchanged_fcdn() {
+        let range = "bytes=0-,0-,0-";
+        let run = run_vendor(Vendor::StackPath, 1024, range);
+        assert_eq!(run.forwarded[0], Some(range.to_string()));
+    }
+
+    #[test]
+    fn bcdn_reply_is_n_part_when_origin_ignores_ranges() {
+        let run = run_vendor_ranges_disabled(Vendor::StackPath, 1024, "bytes=0-,0-,0-,0-");
+        assert_eq!(run.client_response.status(), StatusCode::PARTIAL_CONTENT);
+        assert!(run.client_response.body().len() > 4 * 1024);
+        assert_eq!(run.origin_request_count, 1, "one full fetch feeds all parts");
+    }
+
+    #[test]
+    fn origin_without_ranges_single_fetch_only() {
+        // 200 to the lazy probe → no re-forward needed.
+        let run = run_vendor_ranges_disabled(Vendor::StackPath, MB, "bytes=0-0");
+        assert_eq!(run.origin_request_count, 1);
+        assert_eq!(run.client_response.body().len(), 1);
+    }
+
+    #[test]
+    fn total_header_limit_is_about_81_kb() {
+        assert_eq!(profile().limits.total_header_bytes, Some(81 * 1024));
+    }
+}

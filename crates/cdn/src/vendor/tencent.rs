@@ -1,0 +1,83 @@
+//! Tencent Cloud behaviour profile.
+//!
+//! Paper findings:
+//! * Table I — *Deletion* for `bytes=first-last`, conditional on the
+//!   `Range` origin-pull option being *disabled* (the vulnerable default
+//!   modeled here).
+//! * Table IV — exploited with `bytes=0-0`; amplification 32 438× at
+//!   25 MB.
+//! * §VII-A — Tencent confirmed and fixed the vulnerability.
+
+use rangeamp_http::range::ByteRangeSpec;
+
+use super::{coalesced_forward, deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions, VendorProfile};
+use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy};
+
+/// Calibrated so a single-part 206 to the SBR probe is ≈ 805 wire bytes
+/// (Table IV: 26 214 650 / 32 438 ≈ 808 at 25 MB).
+const PAD: usize = 364;
+
+pub(super) fn profile() -> VendorProfile {
+    VendorProfile {
+        vendor: Vendor::TencentCloud,
+        limits: HeaderLimits::default(),
+        multi_reply: MultiReplyPolicy::Coalesce,
+        cache_enabled: true,
+        keeps_backend_alive_on_abort: false,
+        mitigation: MitigationConfig::none(),
+        extra_headers: vec![
+            ("Server", "NWS_SPMid".to_string()),
+            ("X-NWS-LOG-UUID", "a1b2c3d4-5678-90ab-cdef-1234567890ab".to_string()),
+            ("X-Cache-Lookup", "Cache Miss".to_string()),
+            ("X-Daa-Tunnel", "hop_count=1".to_string()),
+            pad_header(PAD),
+        ],
+        options: VendorOptions::default(),
+    }
+}
+
+pub(super) fn handle_miss(profile: &VendorProfile, ctx: &mut MissCtx<'_>) -> MissResult {
+    let Some(header) = ctx.range.clone() else {
+        return laziness(ctx);
+    };
+    if header.is_multi() {
+        return coalesced_forward(profile, ctx);
+    }
+    if !profile.options.range_option_deletes {
+        return laziness(ctx);
+    }
+    match header.specs()[0] {
+        ByteRangeSpec::FromTo { .. } => deletion(ctx),
+        _ => laziness(ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::*;
+    use super::*;
+
+    #[test]
+    fn deletes_first_last_only() {
+        let run = run_vendor(Vendor::TencentCloud, 1 << 20, "bytes=0-0");
+        assert_eq!(run.forwarded, vec![None]);
+        assert!(run.origin_response_bytes > 1 << 20);
+
+        let run = run_vendor(Vendor::TencentCloud, 1 << 20, "bytes=-1");
+        assert_eq!(run.forwarded, vec![Some("bytes=-1".to_string())]);
+    }
+
+    #[test]
+    fn hardened_option_restores_laziness() {
+        let mut profile = profile();
+        profile.options.range_option_deletes = false;
+        let run = run_vendor_with_profile(profile, 1 << 20, "bytes=0-0", true);
+        assert_eq!(run.forwarded, vec![Some("bytes=0-0".to_string())]);
+    }
+
+    #[test]
+    fn multi_is_coalesced() {
+        let run = run_vendor(Vendor::TencentCloud, 4096, "bytes=0-,0-");
+        assert_eq!(run.forwarded, vec![Some("bytes=0-".to_string())]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Cross-node integration tests for the CDN crate: cascading, loop
+//! detection, cache interplay, and property-based behaviour checks.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rangeamp_cdn::{EdgeNode, Vendor};
+use rangeamp_http::{Request, StatusCode};
+use rangeamp_net::{Segment, SegmentName};
+use rangeamp_origin::{OriginConfig, OriginServer, ResourceStore};
+
+fn origin(size: u64, ranges_enabled: bool) -> Arc<OriginServer> {
+    let mut store = ResourceStore::new();
+    store.add_synthetic("/f.bin", size, "application/octet-stream");
+    let config = if ranges_enabled {
+        OriginConfig::apache_default()
+    } else {
+        OriginConfig::ranges_disabled()
+    };
+    Arc::new(OriginServer::with_config(store, config))
+}
+
+fn cascade(
+    fcdn: Vendor,
+    bcdn: Vendor,
+    size: u64,
+) -> (EdgeNode, Arc<EdgeNode>, Segment, Segment) {
+    let origin = origin(size, false);
+    let bcdn_segment = Segment::new(SegmentName::BcdnOrigin);
+    let bcdn_node = Arc::new(EdgeNode::new(bcdn.profile(), origin, bcdn_segment.clone()));
+    let fcdn_segment = Segment::new(SegmentName::FcdnBcdn);
+    let fcdn_node = EdgeNode::new(fcdn.fcdn_profile(), bcdn_node.clone(), fcdn_segment.clone());
+    (fcdn_node, bcdn_node, fcdn_segment, bcdn_segment)
+}
+
+#[test]
+fn two_tier_cascade_works_for_benign_traffic() {
+    let (fcdn, _bcdn, middle, back) = cascade(Vendor::Cloudflare, Vendor::Akamai, 4096);
+    let req = Request::get("/f.bin")
+        .header("Host", "victim.example")
+        .build();
+    let resp = fcdn.handle(&req);
+    assert_eq!(resp.status(), StatusCode::OK);
+    assert_eq!(resp.body().len(), 4096);
+    assert_eq!(middle.stats().requests, 1);
+    assert_eq!(back.stats().requests, 1);
+}
+
+#[test]
+fn same_vendor_cascade_is_rejected_as_a_loop() {
+    // The Via breadcrumb makes the second StackPath hop reject the
+    // request — the testbed's account of Table V's blank
+    // StackPath→StackPath cell.
+    let (fcdn, _bcdn, _middle, back) = cascade(Vendor::StackPath, Vendor::StackPath, 1024);
+    let req = Request::get("/f.bin")
+        .header("Host", "victim.example")
+        .header("Range", "bytes=0-,0-,0-")
+        .build();
+    let resp = fcdn.handle(&req);
+    assert_eq!(resp.status(), StatusCode::BAD_GATEWAY);
+    assert_eq!(back.stats().requests, 0, "never reaches the origin");
+}
+
+#[test]
+fn three_tier_distinct_vendor_chain_passes() {
+    let origin = origin(2048, true);
+    let seg_c = Segment::new(SegmentName::Other("c-origin"));
+    let c = Arc::new(EdgeNode::new(Vendor::Fastly.profile(), origin, seg_c));
+    let seg_b = Segment::new(SegmentName::Other("b-c"));
+    let b = Arc::new(EdgeNode::new(Vendor::Akamai.profile(), c, seg_b));
+    let seg_a = Segment::new(SegmentName::Other("a-b"));
+    let a = EdgeNode::new(Vendor::Cloudflare.fcdn_profile(), b, seg_a);
+    let req = Request::get("/f.bin").header("Host", "h").build();
+    let resp = a.handle(&req);
+    assert_eq!(resp.status(), StatusCode::OK);
+    assert_eq!(resp.body().len(), 2048);
+}
+
+#[test]
+fn fcdn_cache_bypass_prevents_poisoning_between_obr_rounds() {
+    let (fcdn, _bcdn, middle, _back) = cascade(Vendor::Cloudflare, Vendor::Akamai, 1024);
+    let req = Request::get("/f.bin")
+        .header("Host", "victim.example")
+        .header("Range", "bytes=0-,0-")
+        .build();
+    fcdn.handle(&req);
+    let after_first = middle.stats().requests;
+    fcdn.handle(&req);
+    assert_eq!(
+        middle.stats().requests,
+        after_first * 2,
+        "bypass mode must not cache"
+    );
+}
+
+#[test]
+fn bcdn_cache_serves_second_obr_round_without_origin() {
+    let (fcdn, _bcdn, _middle, back) = cascade(Vendor::Cloudflare, Vendor::Akamai, 1024);
+    let req = Request::get("/f.bin")
+        .header("Host", "victim.example")
+        .header("Range", "bytes=0-,0-")
+        .build();
+    fcdn.handle(&req);
+    assert_eq!(back.stats().requests, 1);
+    fcdn.handle(&req);
+    // Akamai cached the full 200, so the origin is not consulted again —
+    // but the fcdn-bcdn link still inflates every round.
+    assert_eq!(back.stats().requests, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_vendor_handles_arbitrary_single_ranges_correctly(
+        vendor_index in 0usize..13,
+        first in 0u64..8192,
+        span in 0u64..256,
+    ) {
+        let size = 8192u64;
+        let vendor = Vendor::ALL[vendor_index];
+        let origin = origin(size, true);
+        let segment = Segment::new(SegmentName::CdnOrigin);
+        let edge = EdgeNode::new(vendor.profile(), origin.clone(), segment);
+        let req = Request::get(&format!("/f.bin?r={first}"))
+            .header("Host", "victim.example")
+            .header("Range", format!("bytes={first}-{}", first + span))
+            .build();
+        let resp = edge.handle(&req);
+        if first < size {
+            prop_assert_eq!(resp.status(), StatusCode::PARTIAL_CONTENT, "{}", vendor);
+            let last = (first + span).min(size - 1);
+            prop_assert_eq!(resp.body().len(), last - first + 1, "{}", vendor);
+        } else {
+            prop_assert_eq!(resp.status(), StatusCode::RANGE_NOT_SATISFIABLE, "{}", vendor);
+        }
+    }
+
+    #[test]
+    fn origin_traffic_never_shrinks_below_client_body(
+        vendor_index in 0usize..13,
+        first in 0u64..4096,
+    ) {
+        // Whatever the policy, the CDN cannot conjure bytes: the client
+        // body must have come from the origin (on a cold cache).
+        let size = 4096u64;
+        let vendor = Vendor::ALL[vendor_index];
+        let origin = origin(size, true);
+        let segment = Segment::new(SegmentName::CdnOrigin);
+        let edge = EdgeNode::new(vendor.profile(), origin, segment.clone());
+        let req = Request::get(&format!("/f.bin?r={first}"))
+            .header("Host", "victim.example")
+            .header("Range", format!("bytes={first}-{first}"))
+            .build();
+        let resp = edge.handle(&req);
+        prop_assert!(
+            segment.stats().response_bytes >= resp.body().len(),
+            "{}: origin {} < body {}",
+            vendor,
+            segment.stats().response_bytes,
+            resp.body().len()
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! The dropped-connection attack of Triukose et al. (ESORICS 2009),
+//! which the paper re-evaluates in §VIII:
+//!
+//! > "Triukose et al proposed an attack of exhausting the bandwidth of
+//! > the origin server by rapidly dropping the front-end connections. We
+//! > evaluated this attack and found that most CDNs can mitigate it.
+//! > They will break the corresponding back-end connections when the
+//! > front-end connections are abnormally cut off. However, this defense
+//! > is invalid under our RangeAmp attacks."
+//!
+//! [`DroppedGetAttack`] reproduces that evaluation: a plain cache-busted
+//! `GET` whose front-end connection is aborted immediately. Vendors that
+//! break the back-end connection stop the origin transfer after the
+//! in-flight buffer; CDNsun and CDN77 let it complete. [`compare_with_sbr`]
+//! then shows the paper's point — the SBR attack amplifies even against
+//! vendors that defeat the dropped-connection attack.
+
+use rangeamp_cdn::Vendor;
+use rangeamp_http::Request;
+use serde::Serialize;
+
+use crate::attack::SbrAttack;
+use crate::testbed::{Testbed, TARGET_HOST, TARGET_PATH};
+
+/// One dropped-connection measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct AbortMeasurement {
+    /// Vendor attacked.
+    pub vendor: String,
+    /// Whether the vendor keeps the back-end connection alive on abort.
+    pub keeps_backend_alive: bool,
+    /// Response bytes the attacker actually accepted before aborting.
+    pub attacker_bytes: u64,
+    /// Response bytes the origin sent.
+    pub origin_bytes: u64,
+}
+
+impl AbortMeasurement {
+    /// Origin bytes per attacker byte; `f64::INFINITY` when the attacker
+    /// accepted nothing.
+    pub fn amplification_factor(&self) -> f64 {
+        if self.attacker_bytes == 0 {
+            if self.origin_bytes == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.origin_bytes as f64 / self.attacker_bytes as f64
+        }
+    }
+
+    /// Whether the vendor's break-backend defense worked: the origin sent
+    /// at most the abort buffer, not the whole resource.
+    pub fn defense_effective(&self, resource_size: u64) -> bool {
+        self.origin_bytes < resource_size
+    }
+}
+
+/// The dropped-connection attack configuration.
+#[derive(Debug, Clone)]
+pub struct DroppedGetAttack {
+    vendor: Vendor,
+    resource_size: u64,
+    /// Bytes the attacker accepts before dropping (0 = immediate abort).
+    receive_before_abort: u64,
+}
+
+impl DroppedGetAttack {
+    /// Configures the attack against `vendor` with a resource of
+    /// `resource_size` bytes and an immediate abort.
+    pub fn new(vendor: Vendor, resource_size: u64) -> DroppedGetAttack {
+        DroppedGetAttack {
+            vendor,
+            resource_size,
+            receive_before_abort: 0,
+        }
+    }
+
+    /// Accept this many bytes before dropping the connection.
+    pub fn receive_before_abort(mut self, bytes: u64) -> DroppedGetAttack {
+        self.receive_before_abort = bytes;
+        self
+    }
+
+    /// Runs one dropped-GET round on a fresh testbed.
+    pub fn run(&self) -> AbortMeasurement {
+        let bed = Testbed::builder()
+            .vendor(self.vendor)
+            .resource(TARGET_PATH, self.resource_size)
+            .build();
+        let req = Request::get(&format!("{TARGET_PATH}?drop=1"))
+            .header("Host", TARGET_HOST)
+            .build();
+        bed.request_aborted(&req, self.receive_before_abort);
+        AbortMeasurement {
+            vendor: self.vendor.name().to_string(),
+            keeps_backend_alive: self.vendor.profile().keeps_backend_alive_on_abort,
+            attacker_bytes: bed.client_segment().stats().response_bytes,
+            origin_bytes: bed.origin_segment().stats().response_bytes,
+        }
+    }
+}
+
+/// The §VIII comparison: for each vendor, does the break-backend defense
+/// stop the dropped-GET attack, and does the SBR attack bypass it anyway?
+#[derive(Debug, Clone, Serialize)]
+pub struct DefenseComparison {
+    /// Vendor.
+    pub vendor: String,
+    /// Origin traffic for one dropped GET (defense in play).
+    pub dropped_get_origin_bytes: u64,
+    /// Origin traffic for one SBR round (defense irrelevant).
+    pub sbr_origin_bytes: u64,
+}
+
+/// Runs the comparison for every vendor at `resource_size`.
+pub fn compare_with_sbr(resource_size: u64) -> Vec<DefenseComparison> {
+    Vendor::ALL
+        .iter()
+        .map(|&vendor| {
+            let dropped = DroppedGetAttack::new(vendor, resource_size).run();
+            let sbr = SbrAttack::new(vendor, resource_size).run();
+            DefenseComparison {
+                vendor: vendor.name().to_string(),
+                dropped_get_origin_bytes: dropped.origin_bytes,
+                sbr_origin_bytes: sbr.traffic.victim_response_bytes,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn most_vendors_defeat_dropped_get() {
+        // §VIII: "most CDNs can mitigate it".
+        for vendor in [Vendor::Akamai, Vendor::Cloudflare, Vendor::Fastly, Vendor::StackPath] {
+            let m = DroppedGetAttack::new(vendor, 10 * MB).run();
+            assert!(!m.keeps_backend_alive, "{vendor}");
+            assert!(
+                m.defense_effective(10 * MB),
+                "{vendor}: origin sent {} of 10 MB",
+                m.origin_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn cdn77_and_cdnsun_remain_vulnerable_to_dropped_get() {
+        for vendor in [Vendor::Cdn77, Vendor::CdnSun] {
+            let m = DroppedGetAttack::new(vendor, 10 * MB).run();
+            assert!(m.keeps_backend_alive, "{vendor}");
+            assert!(
+                m.origin_bytes > 10 * MB,
+                "{vendor}: backend should complete, got {}",
+                m.origin_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn sbr_bypasses_the_break_backend_defense() {
+        // §VIII: "this defense is invalid under our RangeAmp attacks" —
+        // SBR never aborts the front-end connection, so breaking back-end
+        // connections on abort does nothing.
+        for row in compare_with_sbr(5 * MB) {
+            assert!(
+                row.sbr_origin_bytes > 5 * MB,
+                "{}: SBR origin traffic {}",
+                row.vendor,
+                row.sbr_origin_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn attacker_cost_is_what_they_accepted() {
+        let m = DroppedGetAttack::new(Vendor::Cdn77, MB)
+            .receive_before_abort(256)
+            .run();
+        assert_eq!(m.attacker_bytes, 256);
+        assert!(m.amplification_factor() > 1000.0);
+    }
+}

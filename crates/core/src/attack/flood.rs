@@ -1,0 +1,175 @@
+//! The sustained-attack bandwidth experiment (paper §V-D, Fig 7).
+//!
+//! The paper sends `m` concurrent SBR requests per second for 30 seconds
+//! against a 10 MB resource behind Cloudflare and monitors the origin's
+//! outgoing bandwidth (1000 Mbps uplink) and the client's incoming
+//! bandwidth. With `m ≤ 10` the origin's outgoing bandwidth is
+//! proportional to `m`; from `m ≈ 11` it approaches line rate; from
+//! `m ≥ 14` the uplink is completely exhausted — while the attacker's
+//! incoming bandwidth never exceeds ~500 Kbps.
+//!
+//! The experiment runs on virtual time: per-request byte counts come from
+//! one metered testbed round, then the 30-second schedule is simulated
+//! with max-min fair bandwidth sharing on the origin uplink.
+
+use rangeamp_cdn::Vendor;
+use rangeamp_net::FlowSim;
+use serde::Serialize;
+
+use crate::attack::SbrAttack;
+use crate::testbed::{Testbed, TARGET_PATH};
+
+/// Configuration for a Fig 7-style run.
+#[derive(Debug, Clone)]
+pub struct FloodExperiment {
+    /// The abused CDN (the paper uses Cloudflare as the example).
+    pub vendor: Vendor,
+    /// Target resource size in bytes (paper: 10 MB).
+    pub resource_size: u64,
+    /// Origin uplink capacity in Mbps (paper: 1000).
+    pub origin_uplink_mbps: f64,
+    /// Attacker downlink capacity in Mbps (paper: commodity access).
+    pub client_downlink_mbps: f64,
+    /// Attack duration in seconds (paper: 30).
+    pub duration_secs: u64,
+    /// Requests per second (the paper's `m`, swept 1..=15).
+    pub requests_per_sec: u32,
+}
+
+impl FloodExperiment {
+    /// The paper's §V-D configuration for a given `m`.
+    pub fn paper_config(m: u32) -> FloodExperiment {
+        FloodExperiment {
+            vendor: Vendor::Cloudflare,
+            resource_size: 10 * 1024 * 1024,
+            origin_uplink_mbps: 1000.0,
+            client_downlink_mbps: 100.0,
+            duration_secs: 30,
+            requests_per_sec: m,
+        }
+    }
+
+    /// Runs the experiment on virtual time.
+    pub fn run(&self) -> FloodReport {
+        // One metered round yields the exact per-request byte costs.
+        let bed = Testbed::builder()
+            .vendor(self.vendor)
+            .resource(TARGET_PATH, self.resource_size)
+            .build();
+        let probe = SbrAttack::new(self.vendor, self.resource_size).run_on(&bed, 0);
+        let origin_bytes_per_request = probe.traffic.victim_response_bytes;
+        let client_bytes_per_request = probe.traffic.attacker_response_bytes;
+
+        let mut sim = FlowSim::new(20);
+        let uplink = sim.add_link("origin-uplink", self.origin_uplink_mbps);
+        let downlink = sim.add_link("client-downlink", self.client_downlink_mbps);
+        for second in 0..self.duration_secs {
+            for k in 0..self.requests_per_sec {
+                // Spread the m requests of each second evenly, like the
+                // paper's concurrent senders.
+                let offset_ms = second * 1000 + (k as u64 * 1000) / self.requests_per_sec as u64;
+                sim.schedule_flow(offset_ms, origin_bytes_per_request, &[uplink]);
+                sim.schedule_flow(offset_ms, client_bytes_per_request, &[downlink]);
+            }
+        }
+        // Let queued transfers drain a little past the attack window so
+        // saturation tails are visible, as in Fig 7.
+        sim.run_until_millis((self.duration_secs + 10) * 1000);
+        let mut origin_series = sim.link_throughput_mbps(uplink);
+        let mut client_series = sim.link_throughput_mbps(downlink);
+        let len = (self.duration_secs + 10) as usize;
+        origin_series.resize(len, 0.0);
+        client_series.resize(len, 0.0);
+        FloodReport {
+            requests_per_sec: self.requests_per_sec,
+            origin_bytes_per_request,
+            client_bytes_per_request,
+            origin_outgoing_mbps: origin_series,
+            client_incoming_mbps: client_series,
+        }
+    }
+}
+
+/// Result of one flood run: per-second bandwidth series (Fig 7a/7b).
+#[derive(Debug, Clone, Serialize)]
+pub struct FloodReport {
+    /// The `m` used.
+    pub requests_per_sec: u32,
+    /// Origin-side response bytes per attack request.
+    pub origin_bytes_per_request: u64,
+    /// Attacker-side response bytes per attack request.
+    pub client_bytes_per_request: u64,
+    /// Fig 7b: origin outgoing bandwidth per second, Mbps.
+    pub origin_outgoing_mbps: Vec<f64>,
+    /// Fig 7a: client incoming bandwidth per second, Mbps.
+    pub client_incoming_mbps: Vec<f64>,
+}
+
+impl FloodReport {
+    /// Mean origin outgoing bandwidth during the steady part of the
+    /// attack window (seconds 5..25 of a 30-second run).
+    pub fn steady_origin_mbps(&self) -> f64 {
+        let window: Vec<f64> = self
+            .origin_outgoing_mbps
+            .iter()
+            .copied()
+            .skip(5)
+            .take(20)
+            .collect();
+        if window.is_empty() {
+            return 0.0;
+        }
+        window.iter().sum::<f64>() / window.len() as f64
+    }
+
+    /// Peak client incoming bandwidth in Kbps (the paper reports it never
+    /// exceeds ~500 Kbps).
+    pub fn peak_client_kbps(&self) -> f64 {
+        self.client_incoming_mbps
+            .iter()
+            .fold(0.0f64, |acc, &x| acc.max(x))
+            * 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_m_is_proportional() {
+        let r2 = FloodExperiment::paper_config(2).run();
+        let r4 = FloodExperiment::paper_config(4).run();
+        let ratio = r4.steady_origin_mbps() / r2.steady_origin_mbps();
+        assert!(
+            (1.7..=2.3).contains(&ratio),
+            "m=4 should be ≈2× m=2, got {ratio} ({} vs {})",
+            r2.steady_origin_mbps(),
+            r4.steady_origin_mbps()
+        );
+    }
+
+    #[test]
+    fn high_m_saturates_the_uplink() {
+        let report = FloodExperiment::paper_config(14).run();
+        let steady = report.steady_origin_mbps();
+        assert!(steady > 990.0, "m=14 should exhaust 1000 Mbps, got {steady}");
+    }
+
+    #[test]
+    fn m11_approaches_line_rate() {
+        let report = FloodExperiment::paper_config(11).run();
+        let steady = report.steady_origin_mbps();
+        assert!(
+            steady > 900.0,
+            "paper: m ≥ 11 is close to 1000 Mbps, got {steady}"
+        );
+    }
+
+    #[test]
+    fn client_incoming_stays_under_500kbps() {
+        let report = FloodExperiment::paper_config(15).run();
+        let peak = report.peak_client_kbps();
+        assert!(peak < 500.0, "paper Fig 7a bound, got {peak} Kbps");
+    }
+}

@@ -1,0 +1,19 @@
+//! The RangeAmp attacks (paper §IV).
+//!
+//! * [`SbrAttack`] — Small Byte Range attack against the origin server
+//!   behind one CDN (§IV-B, evaluated in §V-B / Table IV / Fig 6).
+//! * [`ObrAttack`] — Overlapping Byte Ranges attack against the
+//!   `fcdn-bcdn` link of two cascaded CDNs (§IV-C, evaluated in §V-C /
+//!   Table V).
+//! * [`FloodExperiment`] — the sustained-attack bandwidth experiment
+//!   (§V-D / Fig 7).
+
+mod abort;
+mod flood;
+mod obr;
+mod sbr;
+
+pub use abort::{compare_with_sbr, AbortMeasurement, DefenseComparison, DroppedGetAttack};
+pub use flood::{FloodExperiment, FloodReport};
+pub use obr::{obr_combos, ObrAttack, ObrMeasurement};
+pub use sbr::{exploited_range_case, ExploitedCase, SbrAttack};

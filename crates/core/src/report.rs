@@ -1,0 +1,126 @@
+//! Plain-text table rendering for the benchmark harness binaries.
+//!
+//! Every `table*`/`fig*` binary in `rangeamp-bench` prints its result
+//! through [`TextTable`], so regenerated tables read like the paper's.
+
+use std::fmt;
+
+/// A fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> TextTable {
+        TextTable {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut TextTable {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        writeln!(f, "{}", self.title)?;
+        writeln!(f, "{}", "=".repeat(total.min(120)))?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (cell, width) in cells.iter().zip(&widths) {
+                let pad = width - cell.chars().count();
+                write!(f, " {}{} |", cell, " ".repeat(pad))?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        writeln!(f, "{}", "-".repeat(total.min(120)))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a byte count with thousands separators (as the paper prints
+/// traffic volumes).
+pub fn group_digits(value: u64) -> String {
+    let digits = value.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut table = TextTable::new("Table X", &["CDN", "Factor"]);
+        table.row(vec!["Akamai", "43093"]);
+        table.row(vec!["G-Core Labs", "43330"]);
+        let text = table.to_string();
+        assert!(text.contains("Table X"));
+        assert!(text.contains("| Akamai      |"));
+        assert!(text.contains("| G-Core Labs |"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_arity_panics() {
+        TextTable::new("t", &["a", "b"]).row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn digit_grouping() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1000), "1,000");
+        assert_eq!(group_digits(26214400), "26,214,400");
+    }
+
+    #[test]
+    fn empty_table_reports_empty() {
+        let table = TextTable::new("t", &["a"]);
+        assert!(table.is_empty());
+        assert_eq!(table.len(), 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Severity assessment: the monetary dimension of RangeAmp (paper §V-E).
+//!
+//! > "Most CDNs charge their website customers by traffic consumption
+//! > [...] When a website is hosted on a vulnerable CDN, its opponent can
+//! > abuse the CDN to perform a RangeAmp attack against it, causing a
+//! > very high CDN service fee to the website."
+//!
+//! Two cost channels are modeled:
+//!
+//! * **origin egress** — the victim's hosting provider bills the origin's
+//!   outgoing traffic, which the SBR attack is designed to maximize;
+//! * **CDN traffic billing** — the ten vendors the paper names as
+//!   traffic-billed charge the website for CDN-side traffic.
+//!
+//! Prices are *illustrative public list prices circa the paper's writing*
+//! (its refs 17–21); they parameterize the model and are clearly not
+//! measurements.
+
+use rangeamp_cdn::Vendor;
+use serde::Serialize;
+
+use crate::amplification::AmplificationMeasurement;
+
+/// How a CDN bills the hosted website (paper §V-E).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum BillingModel {
+    /// Billed per GB of traffic (the paper lists ten such vendors).
+    PerGb(f64),
+    /// Flat-rate plans (Cloudflare, StackPath, G-Core entry plans):
+    /// no marginal traffic fee, but plan limits still apply.
+    FlatRate,
+}
+
+impl BillingModel {
+    /// The billing model the paper attributes to each vendor, with
+    /// illustrative list prices (USD/GB).
+    pub fn for_vendor(vendor: Vendor) -> BillingModel {
+        match vendor {
+            Vendor::Akamai => BillingModel::PerGb(0.049),
+            Vendor::AlibabaCloud => BillingModel::PerGb(0.074),
+            Vendor::Azure => BillingModel::PerGb(0.081),
+            Vendor::Cdn77 => BillingModel::PerGb(0.049),
+            Vendor::CdnSun => BillingModel::PerGb(0.049),
+            Vendor::Cloudflare => BillingModel::FlatRate,
+            Vendor::CloudFront => BillingModel::PerGb(0.085),
+            Vendor::Fastly => BillingModel::PerGb(0.120),
+            Vendor::GCoreLabs => BillingModel::FlatRate,
+            Vendor::HuaweiCloud => BillingModel::PerGb(0.077),
+            Vendor::KeyCdn => BillingModel::PerGb(0.040),
+            Vendor::StackPath => BillingModel::FlatRate,
+            Vendor::TencentCloud => BillingModel::PerGb(0.094),
+        }
+    }
+
+    /// Whether the vendor bills traffic at all.
+    pub fn is_traffic_billed(&self) -> bool {
+        matches!(self, BillingModel::PerGb(_))
+    }
+}
+
+/// Cost-model parameters.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CostModel {
+    /// What the victim's hosting provider charges for origin egress
+    /// (USD/GB; typical cloud egress ≈ $0.09/GB).
+    pub origin_egress_usd_per_gb: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            origin_egress_usd_per_gb: 0.09,
+        }
+    }
+}
+
+/// Estimated cost of a sustained attack.
+#[derive(Debug, Clone, Serialize)]
+pub struct AttackCost {
+    /// Vendor abused.
+    pub vendor: String,
+    /// Attack rate (requests per second).
+    pub requests_per_sec: u32,
+    /// Attack duration in hours.
+    pub hours: f64,
+    /// Victim-side origin egress, GB.
+    pub origin_gb: f64,
+    /// Victim's origin egress bill, USD.
+    pub origin_egress_usd: f64,
+    /// Victim's CDN traffic bill, USD (0 for flat-rate vendors).
+    pub cdn_traffic_usd: f64,
+    /// Attacker-side traffic, GB (what the attacker pays bandwidth for).
+    pub attacker_gb: f64,
+}
+
+impl AttackCost {
+    /// Total victim cost.
+    pub fn victim_usd(&self) -> f64 {
+        self.origin_egress_usd + self.cdn_traffic_usd
+    }
+
+    /// Victim dollars per attacker gigabyte — the economic asymmetry.
+    pub fn cost_asymmetry(&self) -> f64 {
+        if self.attacker_gb == 0.0 {
+            return 0.0;
+        }
+        self.victim_usd() / self.attacker_gb
+    }
+}
+
+/// Projects the cost of sustaining the measured attack round at
+/// `requests_per_sec` for `hours`.
+///
+/// # Example
+///
+/// ```
+/// use rangeamp::attack::SbrAttack;
+/// use rangeamp::severity::{project_cost, CostModel};
+/// use rangeamp_cdn::Vendor;
+///
+/// let round = SbrAttack::new(Vendor::Fastly, 10 * 1024 * 1024).run();
+/// let cost = project_cost(Vendor::Fastly, &round, 10, 1.0, &CostModel::default());
+/// assert!(cost.victim_usd() > cost.attacker_gb); // dollars vs gigabytes
+/// ```
+pub fn project_cost(
+    vendor: Vendor,
+    measurement: &AmplificationMeasurement,
+    requests_per_sec: u32,
+    hours: f64,
+    model: &CostModel,
+) -> AttackCost {
+    const GB: f64 = 1e9;
+    let rounds = requests_per_sec as f64 * hours * 3600.0;
+    // One measured round may span several requests (KeyCDN); scale by
+    // round, not by request.
+    let origin_bytes = measurement.traffic.victim_response_bytes as f64 * rounds;
+    let attacker_bytes = (measurement.traffic.attacker_response_bytes
+        + measurement.traffic.attacker_request_bytes) as f64
+        * rounds;
+    let origin_gb = origin_bytes / GB;
+    let cdn_traffic_usd = match BillingModel::for_vendor(vendor) {
+        // Traffic-billed vendors meter the CDN-side traffic the attack
+        // induces; the back-to-origin volume equals the origin egress.
+        BillingModel::PerGb(price) => origin_gb * price,
+        BillingModel::FlatRate => 0.0,
+    };
+    AttackCost {
+        vendor: vendor.name().to_string(),
+        requests_per_sec,
+        hours,
+        origin_gb,
+        origin_egress_usd: origin_gb * model.origin_egress_usd_per_gb,
+        cdn_traffic_usd,
+        attacker_gb: attacker_bytes / GB,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::SbrAttack;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn paper_lists_ten_traffic_billed_vendors() {
+        let billed = Vendor::ALL
+            .iter()
+            .filter(|v| BillingModel::for_vendor(**v).is_traffic_billed())
+            .count();
+        assert_eq!(billed, 10, "§V-E names ten traffic-billed vendors");
+    }
+
+    #[test]
+    fn one_hour_of_sbr_costs_the_victim_real_money() {
+        let measurement = SbrAttack::new(Vendor::CloudFront, 10 * MB).run();
+        let cost = project_cost(
+            Vendor::CloudFront,
+            &measurement,
+            10,
+            1.0,
+            &CostModel::default(),
+        );
+        // 10 req/s × 3600 s × ~10 MB ≈ 360+ GB of origin egress.
+        assert!(cost.origin_gb > 300.0, "got {} GB", cost.origin_gb);
+        assert!(cost.victim_usd() > 30.0, "got ${}", cost.victim_usd());
+        // ...while the attacker moves a fraction of a GB.
+        assert!(cost.attacker_gb < 0.2, "got {} GB", cost.attacker_gb);
+        assert!(cost.cost_asymmetry() > 100.0);
+    }
+
+    #[test]
+    fn flat_rate_vendors_shift_cost_to_origin_egress_only() {
+        let measurement = SbrAttack::new(Vendor::Cloudflare, 10 * MB).run();
+        let cost = project_cost(
+            Vendor::Cloudflare,
+            &measurement,
+            10,
+            1.0,
+            &CostModel::default(),
+        );
+        assert_eq!(cost.cdn_traffic_usd, 0.0);
+        assert!(cost.origin_egress_usd > 25.0);
+    }
+
+    #[test]
+    fn cost_scales_linearly_with_rate_and_time() {
+        let measurement = SbrAttack::new(Vendor::Akamai, MB).run();
+        let model = CostModel::default();
+        let base = project_cost(Vendor::Akamai, &measurement, 1, 1.0, &model);
+        let double_rate = project_cost(Vendor::Akamai, &measurement, 2, 1.0, &model);
+        let double_time = project_cost(Vendor::Akamai, &measurement, 1, 2.0, &model);
+        assert!((double_rate.victim_usd() / base.victim_usd() - 2.0).abs() < 1e-9);
+        assert!((double_time.victim_usd() / base.victim_usd() - 2.0).abs() < 1e-9);
+    }
+}

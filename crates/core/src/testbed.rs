@@ -1,0 +1,343 @@
+//! Testbed wiring: client ↔ CDN(s) ↔ origin with byte-metered segments.
+
+use std::sync::Arc;
+
+use rangeamp_cdn::{EdgeNode, Vendor, VendorProfile};
+use rangeamp_http::{Request, Response};
+use rangeamp_net::{Segment, SegmentName};
+use rangeamp_origin::{OriginConfig, OriginServer, ResourceStore};
+
+/// Default target path used by the attack builders.
+pub const TARGET_PATH: &str = "/target.bin";
+/// Default Host header of the victim site.
+pub const TARGET_HOST: &str = "victim.example";
+
+/// A single-CDN deployment (paper Fig 3a): client → CDN → origin.
+///
+/// # Example
+///
+/// ```
+/// use rangeamp::Testbed;
+/// use rangeamp_cdn::Vendor;
+/// use rangeamp_http::Request;
+///
+/// let bed = Testbed::builder()
+///     .vendor(Vendor::Fastly)
+///     .resource("/f.bin", 1024 * 1024)
+///     .build();
+/// let req = Request::get("/f.bin?r=1")
+///     .header("Host", "victim.example")
+///     .header("Range", "bytes=0-0")
+///     .build();
+/// let resp = bed.request(&req);
+/// assert_eq!(resp.body().len(), 1);
+/// assert!(bed.origin_segment().stats().response_bytes > 1024 * 1024);
+/// ```
+#[derive(Debug)]
+pub struct Testbed {
+    client_segment: Segment,
+    edge: EdgeNode,
+    origin: Arc<OriginServer>,
+}
+
+impl Testbed {
+    /// Starts a builder with Akamai and a 1 MB `/target.bin`.
+    pub fn builder() -> TestbedBuilder {
+        TestbedBuilder::default()
+    }
+
+    /// Sends one client request through the CDN, metering both segments.
+    pub fn request(&self, req: &Request) -> Response {
+        self.client_segment.send_request(req);
+        let resp = self.edge.handle(req);
+        self.client_segment.send_response(&resp);
+        resp
+    }
+
+    /// Sends one client request and immediately aborts the front-end
+    /// connection after `received` response bytes (the Triukose et al.
+    /// dropped-connection attack the paper evaluates in §VIII). The edge
+    /// node decides — per vendor — whether the back-end transfer survives.
+    pub fn request_aborted(&self, req: &Request, received: u64) -> Response {
+        self.client_segment.send_request(req);
+        let resp = self.edge.handle_with_client_abort(req, received);
+        self.client_segment.send_response_truncated(&resp, received);
+        resp
+    }
+
+    /// The attacker-facing segment (`client-cdn`).
+    pub fn client_segment(&self) -> &Segment {
+        &self.client_segment
+    }
+
+    /// The victim segment (`cdn-origin`).
+    pub fn origin_segment(&self) -> &Segment {
+        self.edge.origin_segment()
+    }
+
+    /// The edge node.
+    pub fn edge(&self) -> &EdgeNode {
+        &self.edge
+    }
+
+    /// The origin server.
+    pub fn origin(&self) -> &Arc<OriginServer> {
+        &self.origin
+    }
+
+    /// Zeroes traffic counters on both segments (between iterations).
+    pub fn reset_traffic(&self) {
+        self.client_segment.reset();
+        self.edge.origin_segment().reset();
+    }
+}
+
+/// Builder for [`Testbed`].
+#[derive(Debug)]
+pub struct TestbedBuilder {
+    profile: VendorProfile,
+    resources: Vec<(String, u64, &'static str)>,
+    origin_config: OriginConfig,
+    prebuilt_store: Option<ResourceStore>,
+}
+
+impl Default for TestbedBuilder {
+    fn default() -> TestbedBuilder {
+        TestbedBuilder {
+            profile: Vendor::Akamai.profile(),
+            resources: vec![(TARGET_PATH.to_string(), 1024 * 1024, "application/octet-stream")],
+            origin_config: OriginConfig::apache_default(),
+            prebuilt_store: None,
+        }
+    }
+}
+
+impl TestbedBuilder {
+    /// Uses the given vendor's default (vulnerable) profile.
+    pub fn vendor(mut self, vendor: Vendor) -> TestbedBuilder {
+        self.profile = vendor.profile();
+        self
+    }
+
+    /// Uses an explicit profile (e.g. a mitigated one).
+    pub fn profile(mut self, profile: VendorProfile) -> TestbedBuilder {
+        self.profile = profile;
+        self
+    }
+
+    /// Replaces the resource set with a single synthetic resource.
+    pub fn resource(mut self, path: &str, size: u64) -> TestbedBuilder {
+        self.resources = vec![(path.to_string(), size, "application/octet-stream")];
+        self
+    }
+
+    /// Adds a synthetic resource.
+    pub fn add_resource(mut self, path: &str, size: u64) -> TestbedBuilder {
+        self.resources.push((path.to_string(), size, "application/octet-stream"));
+        self
+    }
+
+    /// Overrides the origin configuration (e.g. ranges disabled).
+    pub fn origin_config(mut self, config: OriginConfig) -> TestbedBuilder {
+        self.origin_config = config;
+        self
+    }
+
+    /// Uses a pre-built resource store (shares synthetic content across
+    /// testbeds — resource bodies are reference-counted).
+    pub fn store(mut self, store: ResourceStore) -> TestbedBuilder {
+        self.prebuilt_store = Some(store);
+        self
+    }
+
+    /// Wires everything together.
+    pub fn build(self) -> Testbed {
+        let store = match self.prebuilt_store {
+            Some(store) => store,
+            None => {
+                let mut store = ResourceStore::new();
+                for (path, size, ct) in &self.resources {
+                    store.add_synthetic(path, *size, ct);
+                }
+                store
+            }
+        };
+        let origin = Arc::new(OriginServer::with_config(store, self.origin_config));
+        let origin_segment = Segment::new(SegmentName::CdnOrigin);
+        let edge = EdgeNode::new(self.profile, origin.clone(), origin_segment);
+        Testbed {
+            client_segment: Segment::new(SegmentName::ClientCdn),
+            edge,
+            origin,
+        }
+    }
+}
+
+/// A cascaded two-CDN deployment (paper Fig 3b):
+/// client → FCDN → BCDN → origin.
+///
+/// The attacker controls the wiring: the FCDN's origin is set to a BCDN
+/// ingress node, and the origin (the attacker's own) has range support
+/// disabled so the BCDN always receives a complete 200 (§IV-C).
+#[derive(Debug)]
+pub struct CascadeTestbed {
+    client_segment: Segment,
+    fcdn: EdgeNode,
+    bcdn: Arc<EdgeNode>,
+    origin: Arc<OriginServer>,
+}
+
+impl CascadeTestbed {
+    /// Wires `fcdn` in front of `bcdn` over a 1 KB target resource, the
+    /// Table V configuration.
+    pub fn new(fcdn: Vendor, bcdn: Vendor) -> CascadeTestbed {
+        CascadeTestbed::with_resource(fcdn, bcdn, 1024)
+    }
+
+    /// Same, with an explicit resource size.
+    pub fn with_resource(fcdn: Vendor, bcdn: Vendor, size: u64) -> CascadeTestbed {
+        CascadeTestbed::with_profiles(fcdn.fcdn_profile(), bcdn.profile(), size)
+    }
+
+    /// Full control over both profiles (mitigation ablations).
+    pub fn with_profiles(
+        fcdn_profile: VendorProfile,
+        bcdn_profile: VendorProfile,
+        size: u64,
+    ) -> CascadeTestbed {
+        let mut store = ResourceStore::new();
+        store.add_synthetic(TARGET_PATH, size, "application/octet-stream");
+        let origin = Arc::new(OriginServer::with_config(
+            store,
+            OriginConfig::ranges_disabled(),
+        ));
+        let bcdn_segment = Segment::new(SegmentName::BcdnOrigin);
+        let bcdn_node = Arc::new(EdgeNode::new(bcdn_profile, origin.clone(), bcdn_segment));
+        let fcdn_segment = Segment::new(SegmentName::FcdnBcdn);
+        let fcdn_node = EdgeNode::new(fcdn_profile, bcdn_node.clone(), fcdn_segment);
+        CascadeTestbed {
+            client_segment: Segment::new(SegmentName::ClientFcdn),
+            fcdn: fcdn_node,
+            bcdn: bcdn_node,
+            origin,
+        }
+    }
+
+    /// Sends one client request through the cascade.
+    pub fn request(&self, req: &Request) -> Response {
+        self.client_segment.send_request(req);
+        let resp = self.fcdn.handle(req);
+        self.client_segment.send_response(&resp);
+        resp
+    }
+
+    /// Like [`CascadeTestbed::request`], but the attacker only receives
+    /// `receive_window` bytes of the response before aborting (§IV-C's
+    /// small-TCP-window / early-abort trick).
+    pub fn request_with_small_window(&self, req: &Request, receive_window: u64) -> Response {
+        self.client_segment.send_request(req);
+        let resp = self.fcdn.handle(req);
+        self.client_segment
+            .send_response_truncated(&resp, receive_window);
+        resp
+    }
+
+    /// The attacker-facing segment (`client-fcdn`).
+    pub fn client_segment(&self) -> &Segment {
+        &self.client_segment
+    }
+
+    /// The victim segment of the OBR attack (`fcdn-bcdn`).
+    pub fn fcdn_bcdn_segment(&self) -> &Segment {
+        self.fcdn.origin_segment()
+    }
+
+    /// The `bcdn-origin` segment.
+    pub fn bcdn_origin_segment(&self) -> &Segment {
+        self.bcdn.origin_segment()
+    }
+
+    /// The FCDN node.
+    pub fn fcdn(&self) -> &EdgeNode {
+        &self.fcdn
+    }
+
+    /// The BCDN node.
+    pub fn bcdn(&self) -> &Arc<EdgeNode> {
+        &self.bcdn
+    }
+
+    /// The origin server (the attacker's, range support off).
+    pub fn origin(&self) -> &Arc<OriginServer> {
+        &self.origin
+    }
+
+    /// Zeroes all traffic counters.
+    pub fn reset_traffic(&self) {
+        self.client_segment.reset();
+        self.fcdn.origin_segment().reset();
+        self.bcdn.origin_segment().reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rangeamp_http::StatusCode;
+
+    #[test]
+    fn testbed_meters_both_segments() {
+        let bed = Testbed::builder()
+            .vendor(Vendor::Akamai)
+            .resource("/f.bin", 100_000)
+            .build();
+        let req = Request::get("/f.bin?r=1")
+            .header("Host", TARGET_HOST)
+            .header("Range", "bytes=0-0")
+            .build();
+        let resp = bed.request(&req);
+        assert_eq!(resp.status(), StatusCode::PARTIAL_CONTENT);
+        assert_eq!(bed.client_segment().stats().requests, 1);
+        assert_eq!(bed.origin_segment().stats().requests, 1);
+        assert!(bed.origin_segment().stats().response_bytes > 100_000);
+        assert!(bed.client_segment().stats().response_bytes < 2000);
+    }
+
+    #[test]
+    fn reset_traffic_zeroes_counters() {
+        let bed = Testbed::builder().build();
+        let req = Request::get(TARGET_PATH).header("Host", TARGET_HOST).build();
+        bed.request(&req);
+        bed.reset_traffic();
+        assert_eq!(bed.client_segment().stats().requests, 0);
+        assert_eq!(bed.origin_segment().stats().requests, 0);
+    }
+
+    #[test]
+    fn cascade_routes_through_both_cdns() {
+        let bed = CascadeTestbed::new(Vendor::Cloudflare, Vendor::Akamai);
+        let req = Request::get(TARGET_PATH)
+            .header("Host", TARGET_HOST)
+            .header("Range", "bytes=0-,0-,0-")
+            .build();
+        let resp = bed.request(&req);
+        assert_eq!(resp.status(), StatusCode::PARTIAL_CONTENT);
+        // Origin shipped 1 KB once; the fcdn-bcdn link carried ~3 KB.
+        let origin_bytes = bed.bcdn_origin_segment().stats().response_bytes;
+        let middle_bytes = bed.fcdn_bcdn_segment().stats().response_bytes;
+        assert!(origin_bytes < 2_500, "origin sent {origin_bytes}");
+        assert!(middle_bytes > 3_000, "middle carried {middle_bytes}");
+    }
+
+    #[test]
+    fn small_receive_window_caps_attacker_cost() {
+        let bed = CascadeTestbed::new(Vendor::StackPath, Vendor::Akamai);
+        let req = Request::get(TARGET_PATH)
+            .header("Host", TARGET_HOST)
+            .header("Range", "bytes=0-,0-,0-,0-")
+            .build();
+        bed.request_with_small_window(&req, 512);
+        assert_eq!(bed.client_segment().stats().response_bytes, 512);
+        assert!(bed.client_segment().is_aborted());
+    }
+}

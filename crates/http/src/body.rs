@@ -1,0 +1,108 @@
+use bytes::Bytes;
+use std::fmt;
+
+/// An HTTP message payload.
+///
+/// Bodies are cheaply cloneable ([`Bytes`]) because the testbed moves the
+/// same multi-megabyte payload across several simulated connections while
+/// metering each hop.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Body(Bytes);
+
+impl Body {
+    /// An empty body.
+    pub fn empty() -> Body {
+        Body(Bytes::new())
+    }
+
+    /// Wraps existing bytes without copying.
+    pub fn from_bytes(bytes: Bytes) -> Body {
+        Body(bytes)
+    }
+
+    /// Body length in bytes.
+    pub fn len(&self) -> u64 {
+        self.0.len() as u64
+    }
+
+    /// Whether the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// View of the payload bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Zero-copy sub-slice of the payload (used when a CDN slices a cached
+    /// full representation down to the client's requested range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, start: u64, end_exclusive: u64) -> Body {
+        Body(self.0.slice(start as usize..end_exclusive as usize))
+    }
+
+    /// Consumes the body, returning the underlying bytes.
+    pub fn into_bytes(self) -> Bytes {
+        self.0
+    }
+}
+
+impl fmt::Debug for Body {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Body({} bytes)", self.0.len())
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(bytes: Vec<u8>) -> Body {
+        Body(Bytes::from(bytes))
+    }
+}
+
+impl From<&'static str> for Body {
+    fn from(text: &'static str) -> Body {
+        Body(Bytes::from_static(text.as_bytes()))
+    }
+}
+
+impl From<Bytes> for Body {
+    fn from(bytes: Bytes) -> Body {
+        Body(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_is_zero_copy_view() {
+        let body = Body::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let part = body.slice(2, 5);
+        assert_eq!(part.as_bytes(), &[2, 3, 4]);
+        assert_eq!(part.len(), 3);
+    }
+
+    #[test]
+    fn empty_body() {
+        let body = Body::empty();
+        assert!(body.is_empty());
+        assert_eq!(body.len(), 0);
+    }
+
+    #[test]
+    fn debug_shows_length_not_content() {
+        let body = Body::from(vec![0u8; 1024]);
+        assert_eq!(format!("{body:?}"), "Body(1024 bytes)");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_slice_panics() {
+        Body::from(vec![0u8; 4]).slice(2, 10);
+    }
+}

@@ -1,0 +1,123 @@
+//! The `If-Range` conditional (RFC 7233 §3.2).
+//!
+//! `If-Range` makes a range request safe against representation changes:
+//! "if the representation is unchanged, send me the part(s) that I am
+//! requesting in Range; otherwise, send me the entire representation."
+//! The validator is either an entity-tag or an HTTP-date.
+
+use std::fmt;
+
+use crate::{Error, Result};
+
+/// A parsed `If-Range` header value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IfRange {
+    /// An entity-tag validator. Weak tags (`W/"..."`) are representable
+    /// but never match (RFC 7233 requires the strong comparison).
+    ETag {
+        /// The full tag including quotes (and `W/` prefix if weak).
+        tag: String,
+    },
+    /// An `HTTP-date` validator, compared by exact match against the
+    /// representation's `Last-Modified` (the testbed uses fixed dates, so
+    /// exact string comparison is the strong comparison).
+    Date {
+        /// The date string as sent.
+        date: String,
+    },
+}
+
+impl IfRange {
+    /// Parses an `If-Range` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidHeaderValue`] if the value is empty.
+    pub fn parse(value: &str) -> Result<IfRange> {
+        let value = value.trim();
+        if value.is_empty() {
+            return Err(Error::InvalidHeaderValue("empty If-Range".to_string()));
+        }
+        if value.starts_with('"') || value.starts_with("W/\"") {
+            Ok(IfRange::ETag { tag: value.to_string() })
+        } else {
+            Ok(IfRange::Date { date: value.to_string() })
+        }
+    }
+
+    /// Whether the validator matches the selected representation,
+    /// identified by its strong `ETag` and `Last-Modified` values.
+    ///
+    /// Weak entity-tags never match (RFC 7232 strong comparison).
+    pub fn matches(&self, etag: Option<&str>, last_modified: Option<&str>) -> bool {
+        match self {
+            IfRange::ETag { tag } => {
+                if tag.starts_with("W/") {
+                    return false;
+                }
+                etag.is_some_and(|current| !current.starts_with("W/") && current == tag)
+            }
+            IfRange::Date { date } => last_modified.is_some_and(|current| current == date),
+        }
+    }
+}
+
+impl fmt::Display for IfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IfRange::ETag { tag } => f.write_str(tag),
+            IfRange::Date { date } => f.write_str(date),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_etag_and_date_forms() {
+        assert_eq!(
+            IfRange::parse("\"abc\"").unwrap(),
+            IfRange::ETag { tag: "\"abc\"".to_string() }
+        );
+        assert_eq!(
+            IfRange::parse("W/\"abc\"").unwrap(),
+            IfRange::ETag { tag: "W/\"abc\"".to_string() }
+        );
+        assert_eq!(
+            IfRange::parse("Thu, 02 Jan 2020 00:00:00 GMT").unwrap(),
+            IfRange::Date { date: "Thu, 02 Jan 2020 00:00:00 GMT".to_string() }
+        );
+        assert!(IfRange::parse("  ").is_err());
+    }
+
+    #[test]
+    fn strong_etag_matches_exactly() {
+        let validator = IfRange::parse("\"abc\"").unwrap();
+        assert!(validator.matches(Some("\"abc\""), None));
+        assert!(!validator.matches(Some("\"xyz\""), None));
+        assert!(!validator.matches(None, None));
+    }
+
+    #[test]
+    fn weak_etag_never_matches() {
+        let validator = IfRange::parse("W/\"abc\"").unwrap();
+        assert!(!validator.matches(Some("W/\"abc\""), None));
+        assert!(!validator.matches(Some("\"abc\""), None));
+    }
+
+    #[test]
+    fn date_matches_exactly() {
+        let validator = IfRange::parse("Thu, 02 Jan 2020 00:00:00 GMT").unwrap();
+        assert!(validator.matches(None, Some("Thu, 02 Jan 2020 00:00:00 GMT")));
+        assert!(!validator.matches(None, Some("Fri, 03 Jan 2020 00:00:00 GMT")));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in ["\"abc\"", "Thu, 02 Jan 2020 00:00:00 GMT"] {
+            assert_eq!(IfRange::parse(text).unwrap().to_string(), text);
+        }
+    }
+}

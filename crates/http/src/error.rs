@@ -1,0 +1,92 @@
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors produced while building, parsing, or interpreting HTTP messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A header name contained a character outside the RFC 7230 `token`
+    /// alphabet.
+    InvalidHeaderName(String),
+    /// A header value contained a control character other than HTAB.
+    InvalidHeaderValue(String),
+    /// The request line or status line could not be parsed.
+    InvalidStartLine(String),
+    /// The message ended before the framing said it should.
+    UnexpectedEof {
+        /// What the parser was in the middle of reading.
+        context: &'static str,
+    },
+    /// A `Range` header did not match the RFC 7233 ABNF.
+    InvalidRange(String),
+    /// A `Content-Range` header did not match the RFC 7233 ABNF.
+    InvalidContentRange(String),
+    /// A multipart/byteranges payload was malformed.
+    InvalidMultipart(String),
+    /// `Content-Length` disagreed with the actual payload, or was not a
+    /// number.
+    InvalidContentLength(String),
+    /// An unsupported HTTP version was encountered.
+    UnsupportedVersion(String),
+    /// A requested range was not satisfiable for the representation
+    /// (maps to a 416 response).
+    Unsatisfiable {
+        /// Complete length of the selected representation.
+        complete_length: u64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidHeaderName(name) => write!(f, "invalid header name: {name:?}"),
+            Error::InvalidHeaderValue(value) => write!(f, "invalid header value: {value:?}"),
+            Error::InvalidStartLine(line) => write!(f, "invalid start line: {line:?}"),
+            Error::UnexpectedEof { context } => {
+                write!(f, "unexpected end of message while reading {context}")
+            }
+            Error::InvalidRange(raw) => write!(f, "invalid Range header: {raw:?}"),
+            Error::InvalidContentRange(raw) => {
+                write!(f, "invalid Content-Range header: {raw:?}")
+            }
+            Error::InvalidMultipart(reason) => {
+                write!(f, "invalid multipart/byteranges payload: {reason}")
+            }
+            Error::InvalidContentLength(raw) => write!(f, "invalid Content-Length: {raw:?}"),
+            Error::UnsupportedVersion(raw) => write!(f, "unsupported HTTP version: {raw:?}"),
+            Error::Unsatisfiable { complete_length } => write!(
+                f,
+                "range not satisfiable for representation of {complete_length} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = Error::InvalidRange("bytes=".to_string());
+        let msg = err.to_string();
+        assert!(msg.starts_with("invalid Range header"));
+        assert!(msg.contains("bytes="));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn unsatisfiable_reports_length() {
+        let err = Error::Unsatisfiable { complete_length: 1000 };
+        assert!(err.to_string().contains("1000"));
+    }
+}

@@ -1,0 +1,159 @@
+//! HTTP/2 framing-level byte accounting (paper §VI-B).
+//!
+//! The paper observes that "the RangeAmp threats in HTTP/1.1 are also
+//! applicable to HTTP/2": RFC 7540 "just cites the definition in
+//! HTTP/1.1" for range requests, so the *semantics* the attacks exploit
+//! are identical — only the wire framing changes. This module computes
+//! what the same messages weigh under HTTP/2 framing so the experiments
+//! can verify that amplification factors survive the protocol hop:
+//!
+//! * every frame costs a 9-octet header (RFC 7540 §4.1),
+//! * `DATA` payloads are split at the default `SETTINGS_MAX_FRAME_SIZE`
+//!   of 16 384 octets (§4.2),
+//! * header blocks are HPACK-encoded; we model the dominant effects —
+//!   static-table hits for common names and Huffman coding at the
+//!   average ≈ 0.75 compression ratio for literals (RFC 7541) — which is
+//!   accurate to a few percent on the message shapes the testbed uses.
+//!
+//! This is an *accounting* model, not a codec: it answers "how many
+//! bytes would this exchange put on the wire under h2", which is all the
+//! amplification analysis needs.
+
+use crate::{Request, Response};
+
+/// RFC 7540 §4.1: every frame begins with a 9-octet header.
+pub const FRAME_HEADER: u64 = 9;
+/// RFC 7540 §4.2: default maximum frame payload.
+pub const DEFAULT_MAX_FRAME_SIZE: u64 = 16_384;
+
+/// Header names in the HPACK static table (RFC 7541 Appendix A) that the
+/// testbed's messages actually use: these cost ~1–2 octets for the name.
+const STATIC_TABLE_NAMES: &[&str] = &[
+    ":authority",
+    ":method",
+    ":path",
+    ":scheme",
+    ":status",
+    "accept-ranges",
+    "age",
+    "cache-control",
+    "content-length",
+    "content-range",
+    "content-type",
+    "date",
+    "etag",
+    "expires",
+    "host",
+    "if-range",
+    "last-modified",
+    "range",
+    "server",
+    "vary",
+    "via",
+];
+
+/// Average Huffman compression for header literals (RFC 7541 §5.2; the
+/// canonical table averages ≈ 5.9 bits/char on HTTP header text).
+const HUFFMAN_RATIO: f64 = 0.75;
+
+fn hpack_field_len(name: &str, value: &str) -> u64 {
+    let name_cost = if STATIC_TABLE_NAMES.contains(&name.to_ascii_lowercase().as_str()) {
+        1 // indexed name
+    } else {
+        1 + (name.len() as f64 * HUFFMAN_RATIO).ceil() as u64
+    };
+    let value_cost = 1 + (value.len() as f64 * HUFFMAN_RATIO).ceil() as u64;
+    name_cost + value_cost
+}
+
+fn data_frames_len(body_len: u64) -> u64 {
+    if body_len == 0 {
+        return 0;
+    }
+    let frames = body_len.div_ceil(DEFAULT_MAX_FRAME_SIZE);
+    body_len + frames * FRAME_HEADER
+}
+
+/// Wire bytes of a request sent as HEADERS (+ DATA) frames.
+pub fn request_wire_len(req: &Request) -> u64 {
+    // Pseudo-headers: :method, :scheme, :authority (from Host), :path.
+    let mut header_block = hpack_field_len(":method", req.method().as_str());
+    header_block += hpack_field_len(":scheme", "https");
+    header_block += hpack_field_len(":authority", req.headers().get("host").unwrap_or(""));
+    header_block += hpack_field_len(":path", &req.uri().to_string());
+    for (name, value) in req.headers().iter() {
+        if name.lower() == "host" {
+            continue; // carried as :authority
+        }
+        header_block += hpack_field_len(name.lower(), value.as_str());
+    }
+    let headers_frames = header_block.div_ceil(DEFAULT_MAX_FRAME_SIZE).max(1);
+    FRAME_HEADER * headers_frames + header_block + data_frames_len(req.body().len())
+}
+
+/// Wire bytes of a response sent as HEADERS + DATA frames.
+pub fn response_wire_len(resp: &Response) -> u64 {
+    let mut header_block = hpack_field_len(":status", &resp.status().to_string());
+    for (name, value) in resp.headers().iter() {
+        header_block += hpack_field_len(name.lower(), value.as_str());
+    }
+    let headers_frames = header_block.div_ceil(DEFAULT_MAX_FRAME_SIZE).max(1);
+    FRAME_HEADER * headers_frames + header_block + data_frames_len(resp.body().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Request, Response, StatusCode};
+
+    #[test]
+    fn small_request_shrinks_under_h2() {
+        // HPACK static-table hits make typical requests smaller than
+        // their HTTP/1.1 form.
+        let req = Request::get("/f.bin?rnd=1")
+            .header("Host", "victim.example")
+            .header("Range", "bytes=0-0")
+            .build();
+        let h2 = request_wire_len(&req);
+        assert!(h2 < req.wire_len(), "h2 {h2} vs h1 {}", req.wire_len());
+        assert!(h2 > 30, "sanity lower bound");
+    }
+
+    #[test]
+    fn huge_range_header_dominates_either_way() {
+        // The OBR header is one giant literal: h2 saves only the Huffman
+        // ratio, so the header-limit arithmetic stays in force.
+        let range = crate::range::RangeHeader::overlapping(10_000).to_string();
+        let req = Request::get("/f.bin")
+            .header("Host", "victim.example")
+            .header("Range", range)
+            .build();
+        let h2 = request_wire_len(&req);
+        let h1 = req.wire_len();
+        let ratio = h2 as f64 / h1 as f64;
+        assert!((0.70..=0.85).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn large_body_costs_one_frame_header_per_16k() {
+        let body_len = 1_000_000u64;
+        let resp = Response::builder(StatusCode::OK)
+            .sized_body(vec![0u8; body_len as usize])
+            .build();
+        let h2 = response_wire_len(&resp);
+        let frames = body_len.div_ceil(DEFAULT_MAX_FRAME_SIZE);
+        assert!(h2 >= body_len + frames * FRAME_HEADER);
+        // Framing overhead is ~0.055%, so h2 ≈ h1 for megabyte bodies.
+        let h1 = resp.wire_len();
+        let ratio = h2 as f64 / h1 as f64;
+        assert!((0.99..=1.01).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn empty_body_emits_no_data_frames() {
+        assert_eq!(data_frames_len(0), 0);
+        assert_eq!(data_frames_len(1), 1 + FRAME_HEADER);
+        assert_eq!(data_frames_len(16_384), 16_384 + FRAME_HEADER);
+        assert_eq!(data_frames_len(16_385), 16_385 + 2 * FRAME_HEADER);
+    }
+}

@@ -1,0 +1,326 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::method::is_tchar;
+use crate::Error;
+
+/// A validated HTTP header field name.
+///
+/// The original spelling is preserved (it affects wire size, which the
+/// amplification accounting depends on); comparisons are
+/// case-insensitive per RFC 7230 §3.2.
+#[derive(Debug, Clone)]
+pub struct HeaderName {
+    raw: String,
+    lower: String,
+}
+
+impl HeaderName {
+    /// Validates and wraps a header name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidHeaderName`] if `name` is empty or contains a
+    /// character outside the RFC 7230 `token` alphabet.
+    pub fn new(name: impl Into<String>) -> Result<HeaderName, Error> {
+        let raw = name.into();
+        if raw.is_empty() || !raw.bytes().all(is_tchar) {
+            return Err(Error::InvalidHeaderName(raw));
+        }
+        let lower = raw.to_ascii_lowercase();
+        Ok(HeaderName { raw, lower })
+    }
+
+    /// The name exactly as supplied.
+    pub fn as_str(&self) -> &str {
+        &self.raw
+    }
+
+    /// The lowercase form used for comparisons.
+    pub fn lower(&self) -> &str {
+        &self.lower
+    }
+}
+
+impl PartialEq for HeaderName {
+    fn eq(&self, other: &Self) -> bool {
+        self.lower == other.lower
+    }
+}
+impl Eq for HeaderName {}
+
+impl std::hash::Hash for HeaderName {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.lower.hash(state);
+    }
+}
+
+impl fmt::Display for HeaderName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+impl FromStr for HeaderName {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Self, Error> {
+        HeaderName::new(s)
+    }
+}
+
+/// A validated HTTP header field value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HeaderValue(String);
+
+impl HeaderValue {
+    /// Validates and wraps a header value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidHeaderValue`] if `value` contains a control
+    /// character other than horizontal tab.
+    pub fn new(value: impl Into<String>) -> Result<HeaderValue, Error> {
+        let value = value.into();
+        let ok = value
+            .bytes()
+            .all(|b| b == b'\t' || (b != 0x7f && b >= 0x20) || b >= 0x80);
+        if ok {
+            Ok(HeaderValue(value))
+        } else {
+            Err(Error::InvalidHeaderValue(value))
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Length of the value in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the value is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for HeaderValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl FromStr for HeaderValue {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Self, Error> {
+        HeaderValue::new(s)
+    }
+}
+
+/// Ordered, case-insensitive multimap of HTTP header fields.
+///
+/// Field order is preserved exactly as inserted because it is visible on
+/// the wire and therefore in the byte accounting. Multiple fields with the
+/// same name are allowed (RFC 7230 §3.2.2).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeaderMap {
+    entries: Vec<(HeaderName, HeaderValue)>,
+}
+
+impl HeaderMap {
+    /// Creates an empty header map.
+    pub fn new() -> HeaderMap {
+        HeaderMap::default()
+    }
+
+    /// Number of header fields (not distinct names).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map holds no fields.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends a field, keeping any existing fields with the same name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` or `value` are not valid header text. Use
+    /// [`HeaderMap::try_append`] for untrusted input.
+    pub fn append(&mut self, name: &str, value: impl Into<String>) {
+        self.try_append(name, value)
+            .expect("static header should be valid");
+    }
+
+    /// Appends a field, validating both parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name or value fails validation.
+    pub fn try_append(&mut self, name: &str, value: impl Into<String>) -> Result<(), Error> {
+        let name = HeaderName::new(name)?;
+        let value = HeaderValue::new(value)?;
+        self.entries.push((name, value));
+        Ok(())
+    }
+
+    /// Replaces all fields named `name` with a single field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` or `value` are not valid header text.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        let name = HeaderName::new(name).expect("static header name should be valid");
+        let value = HeaderValue::new(value).expect("static header value should be valid");
+        self.entries.retain(|(n, _)| *n != name);
+        self.entries.push((name, value));
+    }
+
+    /// Removes every field named `name`, returning how many were removed.
+    pub fn remove(&mut self, name: &str) -> usize {
+        let lower = name.to_ascii_lowercase();
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| n.lower() != lower);
+        before - self.entries.len()
+    }
+
+    /// First value for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.entries
+            .iter()
+            .find(|(n, _)| n.lower() == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `name`, in insertion order.
+    pub fn get_all<'a>(&'a self, name: &str) -> Vec<&'a str> {
+        let lower = name.to_ascii_lowercase();
+        self.entries
+            .iter()
+            .filter(|(n, _)| n.lower() == lower)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// Whether at least one field named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Iterates over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&HeaderName, &HeaderValue)> {
+        self.entries.iter().map(|(n, v)| (n, v))
+    }
+
+    /// Total wire size of the header block in bytes: each field costs
+    /// `name + ": " + value + CRLF`. This is what CDN request-header
+    /// limits meter (paper §V-C).
+    pub fn wire_len(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|(n, v)| n.as_str().len() as u64 + 2 + v.len() as u64 + 2)
+            .sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a HeaderMap {
+    type Item = (&'a HeaderName, &'a HeaderValue);
+    type IntoIter = std::vec::IntoIter<(&'a HeaderName, &'a HeaderValue)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries
+            .iter()
+            .map(|(n, v)| (n, v))
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+impl FromIterator<(String, String)> for HeaderMap {
+    fn from_iter<I: IntoIterator<Item = (String, String)>>(iter: I) -> Self {
+        let mut map = HeaderMap::new();
+        for (name, value) in iter {
+            map.append(&name, value);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_compare_case_insensitively() {
+        let a = HeaderName::new("Content-Range").unwrap();
+        let b = HeaderName::new("content-range").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "Content-Range");
+    }
+
+    #[test]
+    fn rejects_invalid_names_and_values() {
+        assert!(HeaderName::new("").is_err());
+        assert!(HeaderName::new("Bad Header").is_err());
+        assert!(HeaderName::new("Bad:Header").is_err());
+        assert!(HeaderValue::new("ok value").is_ok());
+        assert!(HeaderValue::new("bad\r\nvalue").is_err());
+        assert!(HeaderValue::new("bad\0").is_err());
+    }
+
+    #[test]
+    fn append_preserves_duplicates_and_order() {
+        let mut map = HeaderMap::new();
+        map.append("Via", "1.1 edge-a");
+        map.append("X-Cache", "MISS");
+        map.append("Via", "1.1 edge-b");
+        assert_eq!(map.get_all("via"), vec!["1.1 edge-a", "1.1 edge-b"]);
+        let order: Vec<_> = map.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(order, vec!["Via", "X-Cache", "Via"]);
+    }
+
+    #[test]
+    fn set_replaces_all_occurrences() {
+        let mut map = HeaderMap::new();
+        map.append("Range", "bytes=0-0");
+        map.append("range", "bytes=1-1");
+        map.set("RANGE", "bytes=2-2");
+        assert_eq!(map.get_all("range"), vec!["bytes=2-2"]);
+    }
+
+    #[test]
+    fn remove_reports_count() {
+        let mut map = HeaderMap::new();
+        map.append("Range", "bytes=0-0");
+        map.append("Range", "bytes=1-1");
+        assert_eq!(map.remove("range"), 2);
+        assert_eq!(map.remove("range"), 0);
+        assert!(!map.contains("Range"));
+    }
+
+    #[test]
+    fn wire_len_counts_separators() {
+        let mut map = HeaderMap::new();
+        map.append("Host", "a.example");
+        // "Host: a.example\r\n" = 4 + 2 + 9 + 2
+        assert_eq!(map.wire_len(), 17);
+    }
+
+    #[test]
+    fn collects_from_pairs() {
+        let map: HeaderMap = vec![
+            ("Host".to_string(), "x".to_string()),
+            ("Range".to_string(), "bytes=0-0".to_string()),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get("host"), Some("x"));
+    }
+}

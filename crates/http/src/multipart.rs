@@ -1,0 +1,287 @@
+//! `multipart/byteranges` payload construction and parsing (RFC 7233 §4.1,
+//! RFC 2046 §5.1.1).
+//!
+//! A multi-part 206 response is the vehicle of the OBR attack: a BCDN that
+//! builds one part per requested range *without checking overlap* turns a
+//! 1 KB resource into an `n × (1 KB + part overhead)` payload (paper
+//! §IV-C). The builder here is deliberately policy-free — it emits exactly
+//! the parts it is given; whether overlapping parts are allowed is decided
+//! by the server/CDN layer above.
+
+use crate::range::{ContentRange, ResolvedRange};
+use crate::{Body, Error, Result};
+
+/// The boundary string used in examples by RFC 7233 and the paper's Fig 2.
+pub const DEFAULT_BOUNDARY: &str = "THIS_STRING_SEPARATES";
+
+/// One part of a multipart/byteranges payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Part {
+    /// The part's `Content-Type`.
+    pub content_type: String,
+    /// The part's `Content-Range`.
+    pub content_range: ContentRange,
+    /// The part's payload bytes.
+    pub body: Body,
+}
+
+/// Builds a `multipart/byteranges` payload.
+#[derive(Debug, Clone)]
+pub struct MultipartBuilder {
+    boundary: String,
+    content_type: String,
+    parts: Vec<(ResolvedRange, Body)>,
+    complete_length: u64,
+}
+
+impl MultipartBuilder {
+    /// Starts a builder for a representation of `complete_length` bytes of
+    /// the given media type, using [`DEFAULT_BOUNDARY`].
+    pub fn new(content_type: &str, complete_length: u64) -> MultipartBuilder {
+        MultipartBuilder {
+            boundary: DEFAULT_BOUNDARY.to_string(),
+            content_type: content_type.to_string(),
+            parts: Vec::new(),
+            complete_length,
+        }
+    }
+
+    /// Overrides the boundary string.
+    pub fn boundary(mut self, boundary: &str) -> MultipartBuilder {
+        self.boundary = boundary.to_string();
+        self
+    }
+
+    /// Appends a part covering `range` with the matching slice of the
+    /// representation. No overlap or ordering checks are performed — that
+    /// is precisely the vulnerable behaviour of Table III BCDNs.
+    pub fn part(mut self, range: ResolvedRange, body: Body) -> MultipartBuilder {
+        self.parts.push((range, body));
+        self
+    }
+
+    /// Number of parts added so far.
+    pub fn part_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Value for the response's `Content-Type` header.
+    pub fn content_type_header(&self) -> String {
+        format!("multipart/byteranges; boundary={}", self.boundary)
+    }
+
+    /// Serializes the multipart payload.
+    pub fn build(&self) -> Body {
+        let mut out = Vec::with_capacity(self.encoded_len() as usize);
+        for (range, body) in &self.parts {
+            out.extend_from_slice(b"--");
+            out.extend_from_slice(self.boundary.as_bytes());
+            out.extend_from_slice(b"\r\n");
+            out.extend_from_slice(b"Content-Type: ");
+            out.extend_from_slice(self.content_type.as_bytes());
+            out.extend_from_slice(b"\r\n");
+            let content_range = ContentRange::Satisfied {
+                range: *range,
+                complete_length: self.complete_length,
+            };
+            out.extend_from_slice(b"Content-Range: ");
+            out.extend_from_slice(content_range.to_string().as_bytes());
+            out.extend_from_slice(b"\r\n\r\n");
+            out.extend_from_slice(body.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(b"--");
+        out.extend_from_slice(self.boundary.as_bytes());
+        out.extend_from_slice(b"--\r\n");
+        Body::from(out)
+    }
+
+    /// Exact length of [`MultipartBuilder::build`]'s output without
+    /// materializing it (used for traffic projections in the max-n solver).
+    pub fn encoded_len(&self) -> u64 {
+        let mut total = 0u64;
+        for (range, body) in &self.parts {
+            let content_range = ContentRange::Satisfied {
+                range: *range,
+                complete_length: self.complete_length,
+            };
+            total += 2 + self.boundary.len() as u64 + 2; // --boundary CRLF
+            total += 14 + self.content_type.len() as u64 + 2; // Content-Type
+            total += 15 + content_range.to_string().len() as u64 + 2; // Content-Range
+            total += 2; // blank line
+            total += body.len() + 2; // body CRLF
+        }
+        total + 2 + self.boundary.len() as u64 + 4 // --boundary--CRLF
+    }
+}
+
+/// Parses a multipart/byteranges payload produced with `boundary`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidMultipart`] on framing errors, missing part
+/// headers, or a part body that disagrees with its `Content-Range`.
+pub fn parse(body: &[u8], boundary: &str) -> Result<Vec<Part>> {
+    let delim = format!("--{boundary}\r\n");
+    let closing = format!("--{boundary}--");
+    let text_err = |reason: &str| Error::InvalidMultipart(reason.to_string());
+
+    let mut parts = Vec::new();
+    let mut offset = 0usize;
+    loop {
+        let rest = &body[offset..];
+        if rest.starts_with(closing.as_bytes()) {
+            return Ok(parts);
+        }
+        if !rest.starts_with(delim.as_bytes()) {
+            return Err(text_err("expected boundary delimiter"));
+        }
+        offset += delim.len();
+
+        // Part headers end at the first blank line.
+        let head_end = body[offset..]
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .ok_or_else(|| text_err("part headers not terminated"))?;
+        let head = &body[offset..offset + head_end];
+        offset += head_end + 4;
+
+        let mut content_type = None;
+        let mut content_range = None;
+        for line in head.split(|&b| b == b'\n') {
+            let line = line.strip_suffix(b"\r").unwrap_or(line);
+            if line.is_empty() {
+                continue;
+            }
+            let line = std::str::from_utf8(line)
+                .map_err(|_| text_err("non-utf8 part header"))?;
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| text_err("malformed part header"))?;
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-type") {
+                content_type = Some(value.to_string());
+            } else if name.eq_ignore_ascii_case("content-range") {
+                content_range = Some(ContentRange::parse(value)?);
+            }
+        }
+        let content_type = content_type.ok_or_else(|| text_err("part missing Content-Type"))?;
+        let content_range =
+            content_range.ok_or_else(|| text_err("part missing Content-Range"))?;
+        let part_len = match content_range {
+            ContentRange::Satisfied { range, .. } => range.len(),
+            ContentRange::Unsatisfied { .. } => {
+                return Err(text_err("part with unsatisfied Content-Range"))
+            }
+        };
+        if ((body.len() - offset) as u64) < part_len + 2 {
+            return Err(text_err("part body truncated"));
+        }
+        let data = Body::from_bytes(bytes::Bytes::copy_from_slice(
+            &body[offset..offset + part_len as usize],
+        ));
+        offset += part_len as usize;
+        if &body[offset..offset + 2] != b"\r\n" {
+            return Err(text_err("part body not CRLF-terminated"));
+        }
+        offset += 2;
+        parts.push(Part {
+            content_type,
+            content_range,
+            body: data,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(first: u64, last: u64) -> ResolvedRange {
+        ResolvedRange { first, last }
+    }
+
+    #[test]
+    fn builds_the_paper_fig2d_shape() {
+        // Fig 2d: two parts of a 1000-byte JPEG, ranges 1-1 and 998-999.
+        let payload = MultipartBuilder::new("image/jpeg", 1000)
+            .part(r(1, 1), Body::from(vec![0xff]))
+            .part(r(998, 999), Body::from(vec![0xd9, 0x00]))
+            .build();
+        let text = String::from_utf8_lossy(payload.as_bytes()).to_string();
+        assert!(text.contains("--THIS_STRING_SEPARATES\r\n"));
+        assert!(text.contains("Content-Range: bytes 1-1/1000"));
+        assert!(text.contains("Content-Range: bytes 998-999/1000"));
+        assert!(text.ends_with("--THIS_STRING_SEPARATES--\r\n"));
+    }
+
+    #[test]
+    fn encoded_len_matches_build() {
+        let builder = MultipartBuilder::new("application/octet-stream", 1 << 20)
+            .part(r(0, 1023), Body::from(vec![0u8; 1024]))
+            .part(r(0, 1023), Body::from(vec![0u8; 1024]))
+            .part(r(512, 2047), Body::from(vec![0u8; 1536]));
+        assert_eq!(builder.encoded_len(), builder.build().len());
+    }
+
+    #[test]
+    fn round_trips_through_parse() {
+        let builder = MultipartBuilder::new("text/plain", 100)
+            .part(r(0, 9), Body::from(vec![b'a'; 10]))
+            .part(r(90, 99), Body::from(vec![b'z'; 10]));
+        let payload = builder.build();
+        let parts = parse(payload.as_bytes(), DEFAULT_BOUNDARY).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].body.as_bytes(), &[b'a'; 10]);
+        assert_eq!(
+            parts[1].content_range,
+            ContentRange::Satisfied { range: r(90, 99), complete_length: 100 }
+        );
+    }
+
+    #[test]
+    fn overlapping_parts_are_not_rejected_here() {
+        // The builder is policy-free: overlap checking is the CDN's job.
+        let n = 64;
+        let mut builder = MultipartBuilder::new("text/plain", 1024);
+        for _ in 0..n {
+            builder = builder.part(r(0, 1023), Body::from(vec![0u8; 1024]));
+        }
+        let payload = builder.build();
+        let parts = parse(payload.as_bytes(), DEFAULT_BOUNDARY).unwrap();
+        assert_eq!(parts.len(), n);
+        assert!(payload.len() > 1024 * n as u64);
+    }
+
+    #[test]
+    fn parse_rejects_bad_framing() {
+        assert!(parse(b"garbage", DEFAULT_BOUNDARY).is_err());
+        let truncated = b"--THIS_STRING_SEPARATES\r\nContent-Type: a/b\r\n";
+        assert!(parse(truncated, DEFAULT_BOUNDARY).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_part_without_content_range() {
+        let raw = b"--B\r\nContent-Type: a/b\r\n\r\nxx\r\n--B--\r\n";
+        let err = parse(raw, "B").unwrap_err();
+        assert!(matches!(err, Error::InvalidMultipart(_)));
+    }
+
+    #[test]
+    fn custom_boundary_respected() {
+        let builder = MultipartBuilder::new("a/b", 10)
+            .boundary("xyz")
+            .part(r(0, 1), Body::from(vec![1, 2]));
+        assert_eq!(builder.content_type_header(), "multipart/byteranges; boundary=xyz");
+        let parts = parse(builder.build().as_bytes(), "xyz").unwrap();
+        assert_eq!(parts.len(), 1);
+    }
+
+    #[test]
+    fn zero_parts_is_just_the_closing_delimiter() {
+        let builder = MultipartBuilder::new("a/b", 10);
+        let payload = builder.build();
+        assert_eq!(payload.as_bytes(), b"--THIS_STRING_SEPARATES--\r\n");
+        assert!(parse(payload.as_bytes(), DEFAULT_BOUNDARY).unwrap().is_empty());
+    }
+}

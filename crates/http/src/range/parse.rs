@@ -1,0 +1,178 @@
+//! Hand-written parser for the RFC 7233 `Range` and `Content-Range` ABNF.
+//!
+//! ```text
+//! Range             = byte-ranges-specifier / other-ranges-specifier
+//! byte-ranges-specifier = bytes-unit "=" byte-range-set
+//! byte-range-set    = 1#( byte-range-spec / suffix-byte-range-spec )
+//! byte-range-spec   = first-byte-pos "-" [ last-byte-pos ]
+//! suffix-byte-range-spec = "-" suffix-length
+//! ```
+//!
+//! Per RFC 7230 §7 the `1#rule` list form tolerates optional whitespace
+//! around commas and empty list elements; real CDN parsers accept those, so
+//! this parser does too (the generator exercises them).
+
+use super::{ByteRangeSpec, ContentRange, RangeHeader, ResolvedRange};
+use crate::{Error, Result};
+
+pub(super) fn parse_range_header(value: &str) -> Result<RangeHeader> {
+    let err = || Error::InvalidRange(value.to_string());
+
+    let rest = value.strip_prefix("bytes").ok_or_else(err)?;
+    let rest = rest.trim_start_matches(' ');
+    let set = rest.strip_prefix('=').ok_or_else(err)?;
+
+    let mut specs = Vec::new();
+    for element in set.split(',') {
+        let element = element.trim_matches(|c| c == ' ' || c == '\t');
+        if element.is_empty() {
+            // Empty list elements are tolerated by the list extension.
+            continue;
+        }
+        specs.push(parse_spec(element).ok_or_else(err)?);
+    }
+    if specs.is_empty() {
+        return Err(err());
+    }
+    RangeHeader::new(specs).map_err(|_| err())
+}
+
+fn parse_spec(element: &str) -> Option<ByteRangeSpec> {
+    if let Some(suffix) = element.strip_prefix('-') {
+        // suffix-byte-range-spec
+        let len = parse_decimal(suffix)?;
+        return Some(ByteRangeSpec::Suffix { len });
+    }
+    let (first, last) = element.split_once('-')?;
+    let first = parse_decimal(first)?;
+    if last.is_empty() {
+        Some(ByteRangeSpec::From { first })
+    } else {
+        let last = parse_decimal(last)?;
+        if last < first {
+            return None;
+        }
+        Some(ByteRangeSpec::FromTo { first, last })
+    }
+}
+
+/// Strict `1*DIGIT` — no signs, no whitespace, no empty string.
+fn parse_decimal(digits: &str) -> Option<u64> {
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+pub(super) fn parse_content_range(value: &str) -> Result<ContentRange> {
+    let err = || Error::InvalidContentRange(value.to_string());
+
+    let rest = value.strip_prefix("bytes ").ok_or_else(err)?;
+    let (range_part, complete_part) = rest.split_once('/').ok_or_else(err)?;
+    let complete_length = if complete_part == "*" {
+        // `bytes x-y/*` is legal but useless to the testbed; reject so
+        // callers notice an origin emitting unknown lengths.
+        return Err(err());
+    } else {
+        parse_decimal(complete_part).ok_or_else(err)?
+    };
+
+    if range_part == "*" {
+        return Ok(ContentRange::Unsatisfied { complete_length });
+    }
+    let (first, last) = range_part.split_once('-').ok_or_else(err)?;
+    let first = parse_decimal(first).ok_or_else(err)?;
+    let last = parse_decimal(last).ok_or_else(err)?;
+    if last < first || last >= complete_length {
+        return Err(err());
+    }
+    Ok(ContentRange::Satisfied {
+        range: ResolvedRange { first, last },
+        complete_length,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_three_spec_forms() {
+        let header = parse_range_header("bytes=0-0,5-,-128").unwrap();
+        assert_eq!(
+            header.specs(),
+            &[
+                ByteRangeSpec::FromTo { first: 0, last: 0 },
+                ByteRangeSpec::From { first: 5 },
+                ByteRangeSpec::Suffix { len: 128 },
+            ]
+        );
+    }
+
+    #[test]
+    fn tolerates_list_whitespace_and_empty_elements() {
+        let header = parse_range_header("bytes=0-0, 1-1 ,,2-2").unwrap();
+        assert_eq!(header.specs().len(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_values() {
+        for bad in [
+            "bytes",
+            "bytes=",
+            "bytes=,",
+            "bytes=a-b",
+            "bytes=5-2",
+            "bytes=--5",
+            "bytes=0--5",
+            "octets=0-0",
+            "bytes=0-0x",
+            "bytes=+1-2",
+            "bytes=1 -2",
+        ] {
+            assert!(parse_range_header(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn huge_values_parse_up_to_u64() {
+        let header = parse_range_header("bytes=0-18446744073709551615").unwrap();
+        assert_eq!(
+            header.specs()[0],
+            ByteRangeSpec::FromTo { first: 0, last: u64::MAX }
+        );
+        assert!(parse_range_header("bytes=0-18446744073709551616").is_err());
+    }
+
+    #[test]
+    fn content_range_satisfied() {
+        let cr = parse_content_range("bytes 0-0/1000").unwrap();
+        assert_eq!(
+            cr,
+            ContentRange::Satisfied {
+                range: ResolvedRange { first: 0, last: 0 },
+                complete_length: 1000
+            }
+        );
+    }
+
+    #[test]
+    fn content_range_unsatisfied() {
+        let cr = parse_content_range("bytes */1000").unwrap();
+        assert_eq!(cr, ContentRange::Unsatisfied { complete_length: 1000 });
+    }
+
+    #[test]
+    fn content_range_rejects_inconsistent_forms() {
+        for bad in [
+            "bytes 0-0/*",
+            "bytes 5-2/1000",
+            "bytes 0-1000/1000",
+            "bytes0-0/1000",
+            "bytes 0-0",
+            "bytes a-b/10",
+        ] {
+            assert!(parse_content_range(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Set-level operations on resolved ranges: coalescing, span accounting,
+//! and the [`RangeSet`] view used by mitigation policies.
+
+use super::ResolvedRange;
+
+/// Merges overlapping or adjacent ranges into a minimal sorted set.
+///
+/// This is the transformation RFC 7233 §6.1 suggests servers apply to
+/// egregious multi-range requests ("coalesce") and is what the mitigated
+/// BCDN profiles do instead of emitting an n-part overlapping response.
+///
+/// # Example
+///
+/// ```
+/// use rangeamp_http::range::{coalesce, ResolvedRange};
+///
+/// let merged = coalesce(&[
+///     ResolvedRange { first: 0, last: 999 },
+///     ResolvedRange { first: 0, last: 999 },
+///     ResolvedRange { first: 500, last: 1500 },
+/// ]);
+/// assert_eq!(merged, vec![ResolvedRange { first: 0, last: 1500 }]);
+/// ```
+pub fn coalesce(ranges: &[ResolvedRange]) -> Vec<ResolvedRange> {
+    let mut sorted: Vec<ResolvedRange> = ranges.to_vec();
+    sorted.sort();
+    let mut merged: Vec<ResolvedRange> = Vec::with_capacity(sorted.len());
+    for range in sorted {
+        match merged.last_mut() {
+            Some(prev) if prev.touches(&range) => {
+                prev.last = prev.last.max(range.last);
+            }
+            _ => merged.push(range),
+        }
+    }
+    merged
+}
+
+/// Total number of bytes the ranges cover, counting overlapping bytes once
+/// per range (i.e. what a server that does *not* check overlaps transmits).
+pub fn total_span(ranges: &[ResolvedRange]) -> u64 {
+    ranges.iter().map(ResolvedRange::len).sum()
+}
+
+/// An analyzed set of resolved ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeSet {
+    ranges: Vec<ResolvedRange>,
+    complete_length: u64,
+}
+
+impl RangeSet {
+    /// Analyzes `ranges` against a representation length.
+    pub fn new(ranges: Vec<ResolvedRange>, complete_length: u64) -> RangeSet {
+        RangeSet { ranges, complete_length }
+    }
+
+    /// The ranges in request order.
+    pub fn ranges(&self) -> &[ResolvedRange] {
+        &self.ranges
+    }
+
+    /// Complete length of the representation the set was resolved against.
+    pub fn complete_length(&self) -> u64 {
+        self.complete_length
+    }
+
+    /// Whether the set is empty (all specs were unsatisfiable → 416).
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of ranges.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Bytes transmitted by a server replying part-per-range without
+    /// overlap checking — the quantity the OBR attack inflates.
+    pub fn naive_payload(&self) -> u64 {
+        total_span(&self.ranges)
+    }
+
+    /// Bytes transmitted after coalescing — what a mitigated server sends.
+    pub fn coalesced_payload(&self) -> u64 {
+        total_span(&coalesce(&self.ranges))
+    }
+
+    /// Ratio between the naive and coalesced payloads; this is the
+    /// body-level amplification an OBR BCDN hands the attacker.
+    pub fn overlap_amplification(&self) -> f64 {
+        let coalesced = self.coalesced_payload();
+        if coalesced == 0 {
+            return 0.0;
+        }
+        self.naive_payload() as f64 / coalesced as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(first: u64, last: u64) -> ResolvedRange {
+        ResolvedRange { first, last }
+    }
+
+    #[test]
+    fn coalesce_merges_overlaps_and_adjacency() {
+        let merged = coalesce(&[r(0, 10), r(5, 20), r(21, 30), r(40, 50)]);
+        assert_eq!(merged, vec![r(0, 30), r(40, 50)]);
+    }
+
+    #[test]
+    fn coalesce_is_idempotent() {
+        let once = coalesce(&[r(0, 10), r(2, 3), r(30, 40)]);
+        let twice = coalesce(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn coalesce_handles_unsorted_input() {
+        let merged = coalesce(&[r(40, 50), r(0, 10), r(5, 20)]);
+        assert_eq!(merged, vec![r(0, 20), r(40, 50)]);
+    }
+
+    #[test]
+    fn coalesce_empty_is_empty() {
+        assert!(coalesce(&[]).is_empty());
+    }
+
+    #[test]
+    fn total_span_counts_duplicates() {
+        assert_eq!(total_span(&[r(0, 999), r(0, 999)]), 2000);
+    }
+
+    #[test]
+    fn obr_amplification_is_n() {
+        // n identical full-file ranges amplify the body n times.
+        let n = 64;
+        let ranges = vec![r(0, 1023); n];
+        let set = RangeSet::new(ranges, 1024);
+        assert_eq!(set.naive_payload(), 1024 * n as u64);
+        assert_eq!(set.coalesced_payload(), 1024);
+        assert!((set.overlap_amplification() - n as f64).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn empty_set_has_zero_amplification() {
+        let set = RangeSet::new(vec![], 1024);
+        assert!(set.is_empty());
+        assert_eq!(set.overlap_amplification(), 0.0);
+    }
+}

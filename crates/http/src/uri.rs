@@ -1,0 +1,149 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::Error;
+
+/// Request-target in *origin-form*: an absolute path plus optional query.
+///
+/// CDN cache keys are derived from this (most CDNs key on path+query, which
+/// is exactly why appending a random query string forces a cache miss —
+/// paper §II-A), so the query component is first-class here.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Uri {
+    path: String,
+    query: Option<String>,
+}
+
+impl Uri {
+    /// Parses an origin-form request target such as `/10MB.bin?x=1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidStartLine`] if the target does not begin
+    /// with `/` or contains whitespace/control characters.
+    pub fn parse(target: &str) -> Result<Uri, Error> {
+        if !target.starts_with('/')
+            || target
+                .bytes()
+                .any(|b| b == b' ' || b == b'\t' || b.is_ascii_control())
+        {
+            return Err(Error::InvalidStartLine(format!("bad request target {target:?}")));
+        }
+        match target.split_once('?') {
+            Some((path, query)) => Ok(Uri {
+                path: path.to_string(),
+                query: Some(query.to_string()),
+            }),
+            None => Ok(Uri {
+                path: target.to_string(),
+                query: None,
+            }),
+        }
+    }
+
+    /// The path component, always beginning with `/`.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The query component without the leading `?`, if present.
+    pub fn query(&self) -> Option<&str> {
+        self.query.as_deref()
+    }
+
+    /// Returns a copy with an extra `key=value` pair appended to the query.
+    ///
+    /// This is the cache-busting primitive: appending a random query string
+    /// makes most CDNs treat the URL as a brand-new cache key and forward
+    /// the request to the origin (paper §II-A, §IV-B).
+    pub fn with_query_param(&self, key: &str, value: &str) -> Uri {
+        let pair = format!("{key}={value}");
+        let query = match &self.query {
+            Some(existing) if !existing.is_empty() => format!("{existing}&{pair}"),
+            _ => pair,
+        };
+        Uri {
+            path: self.path.clone(),
+            query: Some(query),
+        }
+    }
+
+    /// Returns a copy with the query stripped (how a CDN configured to
+    /// "ignore query strings" normalizes its cache key).
+    pub fn without_query(&self) -> Uri {
+        Uri {
+            path: self.path.clone(),
+            query: None,
+        }
+    }
+
+    /// Wire length of the target in bytes.
+    pub fn wire_len(&self) -> u64 {
+        self.to_string().len() as u64
+    }
+}
+
+impl fmt::Display for Uri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.query {
+            Some(query) => write!(f, "{}?{}", self.path, query),
+            None => f.write_str(&self.path),
+        }
+    }
+}
+
+impl FromStr for Uri {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Self, Error> {
+        Uri::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_path_and_query() {
+        let uri = Uri::parse("/a/b.bin?x=1&y=2").unwrap();
+        assert_eq!(uri.path(), "/a/b.bin");
+        assert_eq!(uri.query(), Some("x=1&y=2"));
+        assert_eq!(uri.to_string(), "/a/b.bin?x=1&y=2");
+    }
+
+    #[test]
+    fn plain_path_has_no_query() {
+        let uri = Uri::parse("/10MB.bin").unwrap();
+        assert_eq!(uri.query(), None);
+        assert_eq!(uri.to_string(), "/10MB.bin");
+    }
+
+    #[test]
+    fn rejects_relative_and_malformed_targets() {
+        assert!(Uri::parse("10MB.bin").is_err());
+        assert!(Uri::parse("/a b").is_err());
+        assert!(Uri::parse("").is_err());
+    }
+
+    #[test]
+    fn cache_busting_appends_param() {
+        let uri = Uri::parse("/f.bin").unwrap();
+        let busted = uri.with_query_param("rnd", "123");
+        assert_eq!(busted.to_string(), "/f.bin?rnd=123");
+        let twice = busted.with_query_param("rnd", "456");
+        assert_eq!(twice.to_string(), "/f.bin?rnd=123&rnd=456");
+    }
+
+    #[test]
+    fn without_query_normalizes() {
+        let uri = Uri::parse("/f.bin?rnd=1").unwrap();
+        assert_eq!(uri.without_query().to_string(), "/f.bin");
+    }
+
+    #[test]
+    fn empty_query_component_is_preserved_on_display() {
+        let uri = Uri::parse("/f.bin?").unwrap();
+        assert_eq!(uri.query(), Some(""));
+        assert_eq!(uri.to_string(), "/f.bin?");
+    }
+}

@@ -1,0 +1,69 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::Error;
+
+/// HTTP protocol version carried on the start line.
+///
+/// The paper's experiments speak HTTP/1.1 on every segment; HTTP/1.0 is
+/// kept for origin servers that downgrade, and the RangeAmp threats apply
+/// to HTTP/2 unchanged (paper §VI-B) so no semantics here depend on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Version {
+    /// `HTTP/1.0`.
+    Http10,
+    /// `HTTP/1.1` (default everywhere in the testbed).
+    #[default]
+    Http11,
+}
+
+impl Version {
+    /// Wire representation, e.g. `HTTP/1.1`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Version::Http10 => "HTTP/1.0",
+            Version::Http11 => "HTTP/1.1",
+        }
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Version {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Error> {
+        match s {
+            "HTTP/1.0" => Ok(Version::Http10),
+            "HTTP/1.1" => Ok(Version::Http11),
+            other => Err(Error::UnsupportedVersion(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        assert_eq!("HTTP/1.1".parse::<Version>().unwrap(), Version::Http11);
+        assert_eq!("HTTP/1.0".parse::<Version>().unwrap(), Version::Http10);
+        assert_eq!(Version::Http11.to_string(), "HTTP/1.1");
+    }
+
+    #[test]
+    fn default_is_http11() {
+        assert_eq!(Version::default(), Version::Http11);
+    }
+
+    #[test]
+    fn rejects_http2_start_line_token() {
+        assert!("HTTP/2.0".parse::<Version>().is_err());
+        assert!("http/1.1".parse::<Version>().is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the HTTP grammar layers: the parsers must be total
+//! (never panic), strict (reject what they can't re-emit), and
+//! round-trip-stable.
+
+use proptest::prelude::*;
+
+use rangeamp_http::range::{ByteRangeSpec, ContentRange, RangeHeader};
+use rangeamp_http::{wire, HeaderMap, HeaderName, HeaderValue, Request, Uri};
+
+proptest! {
+    #[test]
+    fn range_parser_is_total(input in ".{0,128}") {
+        // Arbitrary input never panics; success implies display/parse
+        // round trip.
+        if let Ok(header) = RangeHeader::parse(&input) {
+            let echoed = header.to_string();
+            let reparsed = RangeHeader::parse(&echoed).expect("canonical form reparses");
+            prop_assert_eq!(reparsed, header);
+        }
+    }
+
+    #[test]
+    fn range_parser_is_total_on_byteish_input(input in "bytes=[-,0-9 ]{0,64}") {
+        let _ = RangeHeader::parse(&input);
+    }
+
+    #[test]
+    fn content_range_parser_is_total(input in ".{0,64}") {
+        if let Ok(cr) = ContentRange::parse(&input) {
+            let echoed = cr.to_string();
+            prop_assert_eq!(ContentRange::parse(&echoed).expect("reparses"), cr);
+        }
+    }
+
+    #[test]
+    fn header_name_validation_matches_token_alphabet(input in ".{0,32}") {
+        let ok = !input.is_empty()
+            && input.bytes().all(|b| {
+                b.is_ascii_alphanumeric()
+                    || matches!(b, b'!' | b'#' | b'$' | b'%' | b'&' | b'\'' | b'*'
+                        | b'+' | b'-' | b'.' | b'^' | b'_' | b'`' | b'|' | b'~')
+            });
+        prop_assert_eq!(HeaderName::new(input.clone()).is_ok(), ok, "{:?}", input);
+    }
+
+    #[test]
+    fn header_values_reject_crlf_injection(prefix in "[a-z]{0,8}", suffix in "[a-z]{0,8}") {
+        for poison in ["\r", "\n", "\r\n", "\0"] {
+            let value = format!("{prefix}{poison}{suffix}");
+            prop_assert!(HeaderValue::new(value).is_err());
+        }
+    }
+
+    #[test]
+    fn uri_query_round_trip(path in "[a-z0-9/._-]{1,24}", query in proptest::option::of("[a-z0-9=&]{1,24}")) {
+        let text = match &query {
+            Some(q) => format!("/{path}?{q}"),
+            None => format!("/{path}"),
+        };
+        let uri = Uri::parse(&text).expect("valid uri");
+        prop_assert_eq!(uri.to_string(), text);
+    }
+
+    #[test]
+    fn request_decoder_is_total(input in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = wire::decode_request(&input);
+        let _ = wire::decode_response(&input);
+    }
+
+    #[test]
+    fn wire_len_is_exact_for_arbitrary_headers(
+        names in proptest::collection::vec("[A-Za-z][A-Za-z0-9-]{0,12}", 0..8),
+        value in "[a-zA-Z0-9 =,;/]{0,32}",
+    ) {
+        let mut headers = HeaderMap::new();
+        for name in &names {
+            headers.append(name, value.clone());
+        }
+        let mut req = Request::get("/x").build();
+        for (n, v) in headers.iter() {
+            req.headers_mut().append(n.as_str(), v.as_str().to_string());
+        }
+        prop_assert_eq!(req.to_wire_bytes().len() as u64, req.wire_len());
+    }
+
+    #[test]
+    fn spec_resolution_never_panics(
+        first in any::<u64>(),
+        last in any::<u64>(),
+        len in any::<u64>(),
+    ) {
+        let _ = ByteRangeSpec::FromTo { first, last: last.max(first) }.resolve(len);
+        let _ = ByteRangeSpec::From { first }.resolve(len);
+        let _ = ByteRangeSpec::Suffix { len: last }.resolve(len);
+    }
+}

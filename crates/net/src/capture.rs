@@ -1,0 +1,248 @@
+//! Message capture — the testbed's tcpdump.
+//!
+//! The paper's first experiment "collect\[s\] all requests and responses on
+//! the client and the origin server" and differentially compares them
+//! (§V-A). [`CaptureLog`] records a summary of every message that crossed
+//! a segment so the scanner can do exactly that comparison.
+
+use rangeamp_http::{Request, Response};
+
+/// Which way a captured message was travelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Toward the origin (requests).
+    Upstream,
+    /// Toward the client (responses).
+    Downstream,
+}
+
+/// One captured message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaptureEntry {
+    /// Travel direction.
+    pub direction: Direction,
+    /// Wire size of the whole message in bytes.
+    pub wire_len: u64,
+    /// Start line (request line or status line) for quick inspection.
+    pub start_line: String,
+    /// The `Range` header value if the message carried one, the
+    /// `Content-Range` value for responses.
+    pub range_header: Option<String>,
+    /// The `Content-Type` header value, if any (multipart detection).
+    pub content_type: Option<String>,
+    /// Payload length in bytes.
+    pub body_len: u64,
+}
+
+impl CaptureEntry {
+    /// Summarizes a request.
+    pub fn of_request(req: &Request) -> CaptureEntry {
+        CaptureEntry {
+            direction: Direction::Upstream,
+            wire_len: req.wire_len(),
+            start_line: format!("{} {} {}", req.method(), req.uri(), req.version()),
+            range_header: req.headers().get("range").map(str::to_string),
+            content_type: req.headers().get("content-type").map(str::to_string),
+            body_len: req.body().len(),
+        }
+    }
+
+    /// Summarizes a response.
+    pub fn of_response(resp: &Response) -> CaptureEntry {
+        CaptureEntry {
+            direction: Direction::Downstream,
+            wire_len: resp.wire_len(),
+            start_line: format!(
+                "{} {} {}",
+                resp.version(),
+                resp.status(),
+                resp.status().reason_phrase()
+            ),
+            range_header: resp.headers().get("content-range").map(str::to_string),
+            content_type: resp.headers().get("content-type").map(str::to_string),
+            body_len: resp.body().len(),
+        }
+    }
+}
+
+/// An append-only log of captured messages on one segment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CaptureLog {
+    entries: Vec<CaptureEntry>,
+}
+
+impl CaptureLog {
+    /// Creates an empty log.
+    pub fn new() -> CaptureLog {
+        CaptureLog::default()
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, entry: CaptureEntry) {
+        self.entries.push(entry);
+    }
+
+    /// All entries in capture order.
+    pub fn entries(&self) -> &[CaptureEntry] {
+        &self.entries
+    }
+
+    /// Number of captured messages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries travelling in `direction`.
+    pub fn in_direction(&self, direction: Direction) -> Vec<&CaptureEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.direction == direction)
+            .collect()
+    }
+
+    /// The `Range` header values of captured upstream requests, in order —
+    /// the scanner's core observable ("forwarded range format", Tables
+    /// I/II column 3).
+    pub fn forwarded_ranges(&self) -> Vec<Option<String>> {
+        self.in_direction(Direction::Upstream)
+            .iter()
+            .map(|e| e.range_header.clone())
+            .collect()
+    }
+
+    /// Total response bytes captured.
+    pub fn response_bytes(&self) -> u64 {
+        self.in_direction(Direction::Downstream)
+            .iter()
+            .map(|e| e.wire_len)
+            .sum()
+    }
+
+    /// Renders the capture as a human-readable exchange trace (the
+    /// testbed's `tcpdump -A`), one line per message:
+    ///
+    /// ```text
+    /// -> GET /f.bin?rnd=1 HTTP/1.1 | Range: bytes=0-0 | 91 B
+    /// <- HTTP/1.1 206 Partial Content | Content-Range: bytes 0-0/1048576 | 612 B
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.entries {
+            let arrow = match entry.direction {
+                Direction::Upstream => "->",
+                Direction::Downstream => "<-",
+            };
+            out.push_str(arrow);
+            out.push(' ');
+            out.push_str(&entry.start_line);
+            if let Some(range) = &entry.range_header {
+                let label = match entry.direction {
+                    Direction::Upstream => "Range",
+                    Direction::Downstream => "Content-Range",
+                };
+                let shown: String = if range.len() > 48 {
+                    format!("{}… ({} chars)", &range[..45], range.len())
+                } else {
+                    range.clone()
+                };
+                out.push_str(&format!(" | {label}: {shown}"));
+            }
+            out.push_str(&format!(" | {} B\n", entry.wire_len));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rangeamp_http::{Request, Response, StatusCode};
+
+    #[test]
+    fn request_capture_summary() {
+        let req = Request::get("/f.bin?x=1")
+            .header("Host", "h")
+            .header("Range", "bytes=0-0")
+            .build();
+        let entry = CaptureEntry::of_request(&req);
+        assert_eq!(entry.direction, Direction::Upstream);
+        assert_eq!(entry.start_line, "GET /f.bin?x=1 HTTP/1.1");
+        assert_eq!(entry.range_header.as_deref(), Some("bytes=0-0"));
+        assert_eq!(entry.wire_len, req.wire_len());
+    }
+
+    #[test]
+    fn response_capture_summary() {
+        let resp = Response::builder(StatusCode::PARTIAL_CONTENT)
+            .header("Content-Range", "bytes 0-0/1000")
+            .sized_body(vec![0xff])
+            .build();
+        let entry = CaptureEntry::of_response(&resp);
+        assert_eq!(entry.direction, Direction::Downstream);
+        assert_eq!(entry.start_line, "HTTP/1.1 206 Partial Content");
+        assert_eq!(entry.range_header.as_deref(), Some("bytes 0-0/1000"));
+        assert_eq!(entry.body_len, 1);
+    }
+
+    #[test]
+    fn forwarded_ranges_preserves_order_and_absence() {
+        let mut log = CaptureLog::new();
+        log.push(CaptureEntry::of_request(
+            &Request::get("/a").header("Range", "bytes=0-0").build(),
+        ));
+        log.push(CaptureEntry::of_request(&Request::get("/b").build()));
+        assert_eq!(
+            log.forwarded_ranges(),
+            vec![Some("bytes=0-0".to_string()), None]
+        );
+    }
+
+    #[test]
+    fn render_produces_readable_trace() {
+        let mut log = CaptureLog::new();
+        log.push(CaptureEntry::of_request(
+            &Request::get("/f.bin?rnd=1")
+                .header("Host", "h")
+                .header("Range", "bytes=0-0")
+                .build(),
+        ));
+        log.push(CaptureEntry::of_response(
+            &Response::builder(StatusCode::PARTIAL_CONTENT)
+                .header("Content-Range", "bytes 0-0/1048576")
+                .sized_body(vec![0xff])
+                .build(),
+        ));
+        let trace = log.render();
+        assert!(trace.contains("-> GET /f.bin?rnd=1 HTTP/1.1 | Range: bytes=0-0"));
+        assert!(trace.contains("<- HTTP/1.1 206 Partial Content | Content-Range: bytes 0-0/1048576"));
+        assert_eq!(trace.lines().count(), 2);
+    }
+
+    #[test]
+    fn render_truncates_huge_range_headers() {
+        let mut log = CaptureLog::new();
+        let huge = "bytes=".to_string() + &"0-,".repeat(5000);
+        log.push(CaptureEntry::of_request(
+            &Request::get("/f").header("Range", huge.trim_end_matches(',')).build(),
+        ));
+        let trace = log.render();
+        assert!(trace.contains("chars)"));
+        assert!(trace.len() < 200, "trace should stay compact");
+    }
+
+    #[test]
+    fn response_bytes_sums_downstream_only() {
+        let mut log = CaptureLog::new();
+        let req = Request::get("/a").build();
+        let resp = Response::builder(StatusCode::OK).sized_body(vec![0u8; 10]).build();
+        log.push(CaptureEntry::of_request(&req));
+        log.push(CaptureEntry::of_response(&resp));
+        assert_eq!(log.response_bytes(), resp.wire_len());
+        assert_eq!(log.len(), 2);
+    }
+}

@@ -1,0 +1,68 @@
+//! Deterministic virtual time.
+
+use std::fmt;
+
+/// A virtual clock measured in milliseconds.
+///
+/// All time-dependent experiments (Fig 7's 30-second attack runs) run on
+/// virtual time so results are deterministic and a 30-second experiment
+/// completes instantly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtualClock {
+    millis: u64,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Current time in milliseconds since the epoch of the experiment.
+    pub fn now_millis(&self) -> u64 {
+        self.millis
+    }
+
+    /// Current time in whole seconds.
+    pub fn now_secs(&self) -> u64 {
+        self.millis / 1000
+    }
+
+    /// Advances the clock.
+    pub fn advance_millis(&mut self, millis: u64) {
+        self.millis += millis;
+    }
+
+    /// Advances the clock by whole seconds.
+    pub fn advance_secs(&mut self, secs: u64) {
+        self.millis += secs * 1000;
+    }
+}
+
+impl fmt::Display for VirtualClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}.{:03}s", self.millis / 1000, self.millis % 1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut clock = VirtualClock::new();
+        assert_eq!(clock.now_millis(), 0);
+        clock.advance_millis(1500);
+        assert_eq!(clock.now_secs(), 1);
+        clock.advance_secs(2);
+        assert_eq!(clock.now_millis(), 3500);
+    }
+
+    #[test]
+    fn display_formats_millis() {
+        let mut clock = VirtualClock::new();
+        clock.advance_millis(12_345);
+        assert_eq!(clock.to_string(), "t=12.345s");
+    }
+}

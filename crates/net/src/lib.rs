@@ -1,0 +1,44 @@
+//! Simulated network substrate for the RangeAmp testbed.
+//!
+//! The paper's measurements are byte counts captured on the network
+//! segments of Fig 1/Fig 3 (`client-cdn`, `cdn-origin`, `fcdn-bcdn`,
+//! `bcdn-origin`). This crate provides:
+//!
+//! * [`Segment`] — a metered, capturable connection between two roles.
+//!   Every HTTP message that crosses it is serialized to wire bytes and
+//!   counted per direction, exactly like the paper's tcpdump captures.
+//! * [`capture::CaptureLog`] — a per-segment record of the messages that
+//!   crossed, used by the vulnerability scanner for differential analysis.
+//! * [`flowsim::FlowSim`] — a discrete-time max-min-fair bandwidth
+//!   simulator used by the Fig 7 experiment (outgoing bandwidth of the
+//!   origin under m concurrent SBR request streams).
+//! * [`clock::VirtualClock`] — deterministic virtual time.
+//!
+//! # Example
+//!
+//! ```
+//! use rangeamp_net::{Segment, SegmentName};
+//! use rangeamp_http::{Request, Response, StatusCode};
+//!
+//! let segment = Segment::new(SegmentName::ClientCdn);
+//! let req = Request::get("/f.bin").header("Host", "h").build();
+//! let resp = Response::builder(StatusCode::OK).sized_body(vec![0u8; 64]).build();
+//! segment.send_request(&req);
+//! segment.send_response(&resp);
+//! let stats = segment.stats();
+//! assert_eq!(stats.request_bytes, req.wire_len());
+//! assert_eq!(stats.response_bytes, resp.wire_len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod capture;
+pub mod clock;
+pub mod flowsim;
+mod segment;
+
+pub use capture::{CaptureEntry, CaptureLog, Direction};
+pub use clock::VirtualClock;
+pub use flowsim::{FlowId, FlowSim, LinkId};
+pub use segment::{Segment, SegmentName, SegmentStats};

@@ -1,0 +1,98 @@
+//! Property tests for the max-min-fair flow simulator: conservation,
+//! capacity, and fairness invariants that the Fig 7 experiment relies on.
+
+use proptest::prelude::*;
+
+use rangeamp_net::FlowSim;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn link_never_exceeds_capacity(
+        capacity_mbps in 10.0f64..2000.0,
+        flows in proptest::collection::vec((0u64..5_000, 1u64..20_000_000), 1..30),
+    ) {
+        let mut sim = FlowSim::new(50);
+        let link = sim.add_link("l", capacity_mbps);
+        for (start, bytes) in &flows {
+            sim.schedule_flow(*start, *bytes, &[link]);
+        }
+        sim.run_until_millis(20_000);
+        for (second, mbps) in sim.link_throughput_mbps(link).iter().enumerate() {
+            prop_assert!(
+                *mbps <= capacity_mbps * 1.001,
+                "second {second}: {mbps} > {capacity_mbps}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_bytes_are_eventually_delivered(
+        flows in proptest::collection::vec((0u64..2_000, 1u64..5_000_000), 1..15),
+    ) {
+        let mut sim = FlowSim::new(20);
+        let link = sim.add_link("l", 1000.0);
+        let ids: Vec<_> = flows
+            .iter()
+            .map(|(start, bytes)| sim.schedule_flow(*start, *bytes, &[link]))
+            .collect();
+        prop_assert!(sim.run_until_idle(600_000), "should drain");
+        for id in ids {
+            prop_assert_eq!(sim.flow_remaining_bytes(id), 0);
+            prop_assert!(sim.flow_finished_at_ms(id).is_some());
+        }
+        // Conservation: per-second series sums to the total payload.
+        let delivered_bytes: f64 = sim
+            .link_throughput_mbps(link)
+            .iter()
+            .map(|mbps| mbps * 1_000_000.0 / 8.0)
+            .sum();
+        let total: u64 = flows.iter().map(|(_, b)| *b).sum();
+        let error = (delivered_bytes - total as f64).abs() / total as f64;
+        prop_assert!(error < 0.01, "conservation error {error}");
+    }
+
+    #[test]
+    fn equal_flows_finish_together(
+        count in 2usize..10,
+        bytes in 100_000u64..5_000_000,
+    ) {
+        let mut sim = FlowSim::new(10);
+        let link = sim.add_link("l", 100.0);
+        let ids: Vec<_> = (0..count)
+            .map(|_| sim.schedule_flow(0, bytes, &[link]))
+            .collect();
+        prop_assert!(sim.run_until_idle(3_600_000));
+        let finish_times: Vec<_> = ids
+            .iter()
+            .map(|id| sim.flow_finished_at_ms(*id).expect("finished"))
+            .collect();
+        let min = finish_times.iter().min().expect("non-empty");
+        let max = finish_times.iter().max().expect("non-empty");
+        // Max-min fairness with identical flows: identical completion.
+        prop_assert!(max - min <= 10, "{finish_times:?}");
+    }
+
+    #[test]
+    fn adding_a_flow_never_speeds_up_others(
+        bytes in 1_000_000u64..8_000_000,
+    ) {
+        let solo_finish = {
+            let mut sim = FlowSim::new(10);
+            let link = sim.add_link("l", 100.0);
+            let flow = sim.schedule_flow(0, bytes, &[link]);
+            sim.run_until_idle(3_600_000);
+            sim.flow_finished_at_ms(flow).expect("finished")
+        };
+        let contended_finish = {
+            let mut sim = FlowSim::new(10);
+            let link = sim.add_link("l", 100.0);
+            let flow = sim.schedule_flow(0, bytes, &[link]);
+            sim.schedule_flow(0, bytes, &[link]);
+            sim.run_until_idle(3_600_000);
+            sim.flow_finished_at_ms(flow).expect("finished")
+        };
+        prop_assert!(contended_finish >= solo_finish);
+    }
+}

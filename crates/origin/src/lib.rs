@@ -1,0 +1,44 @@
+//! Apache-emulating origin server for the RangeAmp testbed.
+//!
+//! The paper's origin is "Apache/2.4.18 with the default configuration"
+//! on a 1000 Mbps Linux server (§V). This crate provides:
+//!
+//! * [`Resource`] / [`ResourceStore`] — synthetic target resources of
+//!   exact sizes (the experiments sweep 1 KB .. 25 MB),
+//! * [`OriginServer`] — RFC 7233-conformant request handling (200 / 206
+//!   single-part / 206 multipart / 416), with the knobs the attacks turn:
+//!   range support can be disabled (the OBR attacker disables it so the
+//!   origin replies 200 with the full body — §IV-C), and multi-range
+//!   hardening can be toggled (Apache's post-CVE-2011-3192 behaviour),
+//! * [`RateLimiter`] — the "enforce local DoS defense" server-side
+//!   mitigation of §VI-C.
+//!
+//! # Example
+//!
+//! ```
+//! use rangeamp_origin::{OriginServer, ResourceStore};
+//! use rangeamp_http::{Request, StatusCode};
+//!
+//! let mut store = ResourceStore::new();
+//! store.add_synthetic("/1KB.jpg", 1000, "image/jpeg");
+//! let origin = OriginServer::new(store);
+//!
+//! let req = Request::get("/1KB.jpg").header("Range", "bytes=0-0").build();
+//! let resp = origin.handle(&req);
+//! assert_eq!(resp.status(), StatusCode::PARTIAL_CONTENT);
+//! assert_eq!(resp.headers().get("content-range"), Some("bytes 0-0/1000"));
+//! assert_eq!(resp.body().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod config;
+mod ratelimit;
+mod resource;
+mod server;
+
+pub use config::{MultiRangeBehavior, OriginConfig};
+pub use ratelimit::RateLimiter;
+pub use resource::{Resource, ResourceStore};
+pub use server::OriginServer;

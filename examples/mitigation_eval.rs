@@ -1,0 +1,55 @@
+//! Mitigation evaluation: quantify each §VI-C defense against both
+//! attacks, plus the weakness of origin-side rate limiting against a
+//! distributed CDN-egress attack.
+//!
+//! ```text
+//! cargo run --release --example mitigation_eval
+//! ```
+
+use rangeamp::mitigation::{
+    evaluate_obr_defenses, evaluate_sbr_defenses, origin_rate_limit_admission,
+};
+use rangeamp_cdn::Vendor;
+
+fn main() {
+    const MB: u64 = 1024 * 1024;
+
+    println!("SBR against Akamai (10 MB resource):");
+    for outcome in evaluate_sbr_defenses(Vendor::Akamai, 10 * MB) {
+        println!(
+            "  {:<24} factor = {:>8.1}×   residual = {:>6.3}%",
+            outcome.defense.name(),
+            outcome.amplification_factor,
+            outcome.residual_fraction * 100.0
+        );
+    }
+
+    println!();
+    println!("OBR on Cloudflare → Akamai (n = 512):");
+    for outcome in evaluate_obr_defenses(Vendor::Cloudflare, Vendor::Akamai, 512) {
+        println!(
+            "  {:<24} factor = {:>8.1}×   residual = {:>6.3}%",
+            outcome.defense.name(),
+            outcome.amplification_factor,
+            outcome.residual_fraction * 100.0
+        );
+    }
+
+    println!();
+    println!("origin-side rate limiting (1 req/s per peer allowed):");
+    for (edges, rate) in [(1usize, 20u32), (20, 1), (200, 1)] {
+        let admitted = origin_rate_limit_admission(1.0, edges, rate, 10);
+        println!(
+            "  {:>4} egress node(s) × {:>2} req/s  →  {:>5.1}% of attack traffic admitted",
+            edges,
+            rate,
+            admitted * 100.0
+        );
+    }
+    println!();
+    println!(
+        "Laziness (or a tight expansion cap) kills SBR; overlap rejection or \
+         coalescing kills OBR; per-peer rate limits fail once the attack is \
+         spread across the CDN's egress fleet — the paper's §VI-C conclusions."
+    );
+}

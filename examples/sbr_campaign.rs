@@ -1,0 +1,41 @@
+//! SBR campaign: attack all 13 vendor profiles across resource sizes,
+//! the way the paper's second experiment sweeps Fig 6.
+//!
+//! ```text
+//! cargo run --release --example sbr_campaign
+//! ```
+
+use rangeamp::attack::SbrAttack;
+use rangeamp::report::TextTable;
+use rangeamp_cdn::Vendor;
+
+fn main() {
+    const MB: u64 = 1024 * 1024;
+    let sizes = [MB, 5 * MB, 10 * MB];
+
+    let mut table = TextTable::new(
+        "SBR amplification campaign (response-byte ratios)",
+        &["CDN", "case", "1MB", "5MB", "10MB", "client bytes (10MB)"],
+    );
+    for vendor in Vendor::ALL {
+        let mut factors = Vec::new();
+        let mut client_bytes = 0;
+        let mut case = String::new();
+        for &size in &sizes {
+            let report = SbrAttack::new(vendor, size).run();
+            factors.push(format!("{:.0}", report.amplification_factor()));
+            client_bytes = report.traffic.attacker_response_bytes;
+            case = report.exploited_case.clone();
+        }
+        table.row(vec![
+            vendor.name().to_string(),
+            case,
+            factors[0].clone(),
+            factors[1].clone(),
+            factors[2].clone(),
+            client_bytes.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("Every CDN profile amplifies ≥ 3 orders of magnitude — the paper's core SBR finding.");
+}

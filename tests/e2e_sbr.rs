@@ -1,0 +1,224 @@
+//! End-to-end SBR integration tests: every vendor, every paper condition,
+//! factors within tolerance of Table IV.
+
+use rangeamp::attack::{exploited_range_case, SbrAttack};
+use rangeamp::{Testbed, TARGET_HOST, TARGET_PATH};
+use rangeamp_cdn::Vendor;
+use rangeamp_http::{Request, StatusCode};
+
+const MB: u64 = 1024 * 1024;
+
+/// Paper Table IV at 1 MB (vendor, factor).
+const TABLE4_1MB: [(&str, f64); 13] = [
+    ("Akamai", 1707.0),
+    ("Alibaba Cloud", 1056.0),
+    ("Azure", 1401.0),
+    ("CDN77", 1612.0),
+    ("CDNsun", 1578.0),
+    ("Cloudflare", 1282.0),
+    ("CloudFront", 1356.0),
+    ("Fastly", 1286.0),
+    ("G-Core Labs", 1763.0),
+    ("Huawei Cloud", 1465.0),
+    ("KeyCDN", 724.0),
+    ("StackPath", 1297.0),
+    ("Tencent Cloud", 1308.0),
+];
+
+#[test]
+fn every_vendor_amplifies_within_tolerance_of_table4_at_1mb() {
+    for (name, paper_factor) in TABLE4_1MB {
+        let vendor = Vendor::ALL
+            .into_iter()
+            .find(|v| v.name() == name)
+            .expect("vendor exists");
+        let measured = SbrAttack::new(vendor, MB).run().amplification_factor();
+        let ratio = measured / paper_factor;
+        assert!(
+            (0.85..=1.15).contains(&ratio),
+            "{name}: measured {measured:.0} vs paper {paper_factor:.0} (ratio {ratio:.3})"
+        );
+    }
+}
+
+#[test]
+fn amplification_is_proportional_to_resource_size() {
+    // Fig 6a: "the amplification factor is basically proportional to the
+    // target resource size" (Deletion-policy vendors).
+    for vendor in [Vendor::Akamai, Vendor::Cloudflare, Vendor::TencentCloud] {
+        let f1 = SbrAttack::new(vendor, MB).run().amplification_factor();
+        let f4 = SbrAttack::new(vendor, 4 * MB).run().amplification_factor();
+        let ratio = f4 / f1;
+        assert!(
+            (3.6..=4.4).contains(&ratio),
+            "{vendor}: {f1:.0} → {f4:.0} (ratio {ratio:.2}, expected ≈4)"
+        );
+    }
+}
+
+#[test]
+fn azure_amplification_plateaus_past_16mb() {
+    // Fig 6a: "when the target resource exceeds 16MB, the amplification
+    // factor of Azure will stay unchanged".
+    let f16 = SbrAttack::new(Vendor::Azure, 16 * MB).run().amplification_factor();
+    let f25 = SbrAttack::new(Vendor::Azure, 25 * MB).run().amplification_factor();
+    let growth = f25 / f16;
+    assert!(
+        growth < 1.1,
+        "Azure should plateau: {f16:.0} at 16 MB vs {f25:.0} at 25 MB"
+    );
+}
+
+#[test]
+fn cloudfront_amplification_plateaus_past_10mb() {
+    // Fig 6a: "when the target resource exceeds 10MB, the amplification
+    // factor of CloudFront no longer increases".
+    let f10 = SbrAttack::new(Vendor::CloudFront, 10 * MB).run().amplification_factor();
+    let f25 = SbrAttack::new(Vendor::CloudFront, 25 * MB).run().amplification_factor();
+    let growth = f25 / f10;
+    assert!(
+        (0.9..=1.1).contains(&growth),
+        "CloudFront should plateau: {f10:.0} at 10 MB vs {f25:.0} at 25 MB"
+    );
+}
+
+#[test]
+fn akamai_and_gcore_lead_the_field_at_25mb() {
+    // §V-B: "Akamai and G-Core Labs insert fewer headers to the response,
+    // causing their amplification factors to be larger than other CDNs".
+    let leaders: f64 = [Vendor::Akamai, Vendor::GCoreLabs]
+        .iter()
+        .map(|v| SbrAttack::new(*v, 25 * MB).run().amplification_factor())
+        .fold(f64::INFINITY, f64::min);
+    for vendor in Vendor::ALL {
+        if matches!(vendor, Vendor::Akamai | Vendor::GCoreLabs) {
+            continue;
+        }
+        let factor = SbrAttack::new(vendor, 25 * MB).run().amplification_factor();
+        assert!(
+            factor < leaders,
+            "{vendor} ({factor:.0}) should trail Akamai/G-Core ({leaders:.0})"
+        );
+    }
+}
+
+#[test]
+fn keycdn_produces_the_largest_origin_traffic() {
+    // Fig 6c: "KeyCDN generates the largest response traffic" because the
+    // attack sends each request twice.
+    let keycdn = SbrAttack::new(Vendor::KeyCdn, 10 * MB)
+        .run()
+        .traffic
+        .victim_response_bytes;
+    for vendor in [Vendor::Akamai, Vendor::Cloudflare, Vendor::Fastly, Vendor::TencentCloud] {
+        let other = SbrAttack::new(vendor, 10 * MB)
+            .run()
+            .traffic
+            .victim_response_bytes;
+        assert!(
+            keycdn > other,
+            "KeyCDN ({keycdn}) should out-traffic {vendor} ({other})"
+        );
+    }
+}
+
+#[test]
+fn client_side_traffic_stays_under_1500_bytes_per_response() {
+    // Fig 6b: "response traffic in client-cdn connection is no more than
+    // 1500 bytes".
+    for vendor in Vendor::ALL {
+        let report = SbrAttack::new(vendor, 25 * MB).run();
+        let per_response = report.traffic.attacker_response_bytes
+            / report.traffic.attacker_requests.max(1);
+        assert!(
+            per_response <= 1500,
+            "{vendor}: {per_response} bytes per client response"
+        );
+    }
+}
+
+#[test]
+fn huawei_switches_exploited_case_at_10mb() {
+    assert_eq!(exploited_range_case(Vendor::HuaweiCloud, 9 * MB).description, "bytes=-1");
+    assert_eq!(
+        exploited_range_case(Vendor::HuaweiCloud, 10 * MB).description,
+        "bytes=0-0"
+    );
+    // Both regimes actually amplify.
+    assert!(SbrAttack::new(Vendor::HuaweiCloud, 9 * MB).run().amplification_factor() > 1000.0);
+    assert!(SbrAttack::new(Vendor::HuaweiCloud, 12 * MB).run().amplification_factor() > 1000.0);
+}
+
+#[test]
+fn azure_origin_traffic_caps_near_16mb() {
+    // §V-A item 2: for files over 16 MB both Azure connections carry
+    // ≈ 8 MB each.
+    let report = SbrAttack::new(Vendor::Azure, 25 * MB).run();
+    let origin = report.traffic.victim_response_bytes;
+    assert!(
+        origin > 16 * MB && origin < 17 * MB,
+        "Azure origin traffic should cap near 16 MB, got {origin}"
+    );
+    assert_eq!(report.traffic.victim_requests, 2, "two back-to-origin connections");
+}
+
+#[test]
+fn repeated_attack_rounds_stay_effective_despite_caching() {
+    // §II-A: random query strings force a cache miss every time.
+    let bed = Testbed::builder()
+        .vendor(Vendor::Cloudflare)
+        .resource(TARGET_PATH, MB)
+        .build();
+    let attack = SbrAttack::new(Vendor::Cloudflare, MB);
+    for round in 0..10 {
+        let factor = attack.run_on(&bed, round).amplification_factor();
+        assert!(factor > 1000.0, "round {round}: factor {factor:.0}");
+    }
+}
+
+#[test]
+fn without_cache_busting_the_second_request_is_free() {
+    let bed = Testbed::builder()
+        .vendor(Vendor::Akamai)
+        .resource(TARGET_PATH, MB)
+        .build();
+    let req = Request::get(&format!("{TARGET_PATH}?fixed=1"))
+        .header("Host", TARGET_HOST)
+        .header("Range", "bytes=0-0")
+        .build();
+    let first = bed.request(&req);
+    assert_eq!(first.status(), StatusCode::PARTIAL_CONTENT);
+    let after_first = bed.origin_segment().stats().response_bytes;
+    let second = bed.request(&req);
+    assert_eq!(second.status(), StatusCode::PARTIAL_CONTENT);
+    assert_eq!(
+        bed.origin_segment().stats().response_bytes,
+        after_first,
+        "cache hit must not touch the origin"
+    );
+}
+
+#[test]
+fn sbr_response_bodies_are_correct_despite_amplification() {
+    // The attack is invisible to the client: it still gets exactly the
+    // bytes it asked for.
+    for vendor in Vendor::ALL {
+        let bed = Testbed::builder()
+            .vendor(vendor)
+            .resource(TARGET_PATH, MB)
+            .build();
+        let req = Request::get(&format!("{TARGET_PATH}?check=1"))
+            .header("Host", TARGET_HOST)
+            .header("Range", "bytes=100-107")
+            .build();
+        let resp = bed.request(&req);
+        assert_eq!(resp.status(), StatusCode::PARTIAL_CONTENT, "{vendor}");
+        let expected = bed
+            .origin()
+            .store()
+            .get(TARGET_PATH)
+            .expect("resource exists")
+            .slice(100, 107);
+        assert_eq!(resp.body().as_bytes(), expected.as_bytes(), "{vendor}");
+    }
+}

@@ -1,0 +1,172 @@
+//! Mitigation integration tests: §VI-C defenses applied over real attack
+//! runs, including the defenses CDN vendors actually shipped after
+//! disclosure (§VII-A).
+
+use rangeamp::attack::{FloodExperiment, ObrAttack, SbrAttack};
+use rangeamp::mitigation::{evaluate_sbr_defenses, origin_rate_limit_admission, Defense};
+use rangeamp_cdn::{MitigationConfig, Vendor};
+
+const MB: u64 = 1024 * 1024;
+
+#[test]
+fn gcore_slice_fix_reduces_sbr_to_unity() {
+    // §VII-A: G-Core "chose to make the 'slice' option enabled by
+    // default, which adopts the Laziness policy".
+    let fixed = Vendor::GCoreLabs.profile().with_mitigation(MitigationConfig {
+        force_laziness: true,
+        ..MitigationConfig::none()
+    });
+    let factor = SbrAttack::new(Vendor::GCoreLabs, 10 * MB)
+        .with_profile(fixed)
+        .run()
+        .amplification_factor();
+    assert!(factor < 2.0, "slice fix should kill SBR, got {factor:.1}");
+}
+
+#[test]
+fn cdn77_overlap_detection_kills_obr() {
+    // §VII-A: CDN77 "created a detection for overlapping ranges and such
+    // requests will be denied".
+    let factor = ObrAttack::new(Vendor::Cloudflare, Vendor::Akamai)
+        .overlapping_ranges(256)
+        .with_bcdn_mitigation(MitigationConfig {
+            reject_overlapping: true,
+            ..MitigationConfig::none()
+        })
+        .run()
+        .amplification_factor();
+    assert!(factor < 2.0, "overlap rejection should kill OBR, got {factor:.1}");
+}
+
+#[test]
+fn capped_expansion_keeps_caching_but_bounds_amplification() {
+    // §VI-C: "it is acceptable to increase the byte range by 8KB".
+    let outcomes = evaluate_sbr_defenses(Vendor::Akamai, 10 * MB);
+    let baseline = outcomes
+        .iter()
+        .find(|o| o.defense == Defense::None)
+        .expect("baseline present");
+    let capped = outcomes
+        .iter()
+        .find(|o| o.defense == Defense::CappedExpansion8K)
+        .expect("capped present");
+    assert!(baseline.amplification_factor > 10_000.0);
+    assert!(capped.amplification_factor < 20.0);
+    // The capped variant still prefetches: origin sends the requested
+    // byte plus up to 8 KB, i.e. more than pure laziness would.
+    let lazy = outcomes
+        .iter()
+        .find(|o| o.defense == Defense::Laziness)
+        .expect("laziness present");
+    assert!(capped.amplification_factor > lazy.amplification_factor);
+}
+
+#[test]
+fn defenses_do_not_break_legitimate_range_clients() {
+    // A video player resuming at an offset must still get correct bytes
+    // under every defense.
+    for defense in Defense::ALL {
+        let profile = Vendor::Cloudflare.profile().with_mitigation(defense.config());
+        let bed = rangeamp::Testbed::builder()
+            .profile(profile)
+            .resource(rangeamp::TARGET_PATH, MB)
+            .build();
+        let req = rangeamp_http::Request::get(&format!("{}?v=1", rangeamp::TARGET_PATH))
+            .header("Host", rangeamp::TARGET_HOST)
+            .header("Range", "bytes=1000-1999")
+            .build();
+        let resp = bed.request(&req);
+        assert_eq!(
+            resp.status(),
+            rangeamp_http::StatusCode::PARTIAL_CONTENT,
+            "{}",
+            defense.name()
+        );
+        assert_eq!(resp.body().len(), 1000, "{}", defense.name());
+        let expected = bed
+            .origin()
+            .store()
+            .get(rangeamp::TARGET_PATH)
+            .expect("resource")
+            .slice(1000, 1999);
+        assert_eq!(resp.body().as_bytes(), expected.as_bytes(), "{}", defense.name());
+    }
+}
+
+#[test]
+fn coalesce_defense_still_serves_disjoint_multipart() {
+    let profile = Vendor::Akamai.profile().with_mitigation(MitigationConfig {
+        coalesce_multi: true,
+        ..MitigationConfig::none()
+    });
+    let bed = rangeamp::Testbed::builder()
+        .profile(profile)
+        .resource(rangeamp::TARGET_PATH, 100_000)
+        .build();
+    let req = rangeamp_http::Request::get(&format!("{}?v=2", rangeamp::TARGET_PATH))
+        .header("Host", rangeamp::TARGET_HOST)
+        .header("Range", "bytes=0-9,90000-90009")
+        .build();
+    let resp = bed.request(&req);
+    assert_eq!(resp.status(), rangeamp_http::StatusCode::PARTIAL_CONTENT);
+    let content_type = resp.headers().get("content-type").expect("present");
+    assert!(content_type.starts_with("multipart/byteranges"));
+}
+
+#[test]
+fn origin_rate_limiting_is_weak_against_distributed_egress() {
+    // §VI-C server side: "attack requests ... come from widely
+    // distributed CDN nodes. It is difficult for the origin server to
+    // defend against it effectively."
+    let concentrated = origin_rate_limit_admission(2.0, 1, 30, 10);
+    let distributed = origin_rate_limit_admission(2.0, 300, 1, 10);
+    assert!(concentrated < 0.25, "got {concentrated}");
+    assert!(distributed > 0.95, "got {distributed}");
+}
+
+#[test]
+fn fig7_saturation_holds_for_every_vendor() {
+    // §V-D: "We perform the above experiment on all 13 CDNs. As
+    // expected, the experimental results are similar."
+    for vendor in rangeamp_cdn::Vendor::ALL {
+        let mut experiment = FloodExperiment::paper_config(14);
+        experiment.vendor = vendor;
+        let report = experiment.run();
+        let steady = report.steady_origin_mbps();
+        assert!(
+            steady > 900.0,
+            "{vendor}: m=14 should approach line rate, got {steady:.1} Mbps"
+        );
+        assert!(
+            report.peak_client_kbps() < 500.0,
+            "{vendor}: client bound exceeded"
+        );
+    }
+}
+
+#[test]
+fn laziness_defense_prevents_fig7_saturation() {
+    // Re-run the Fig 7 m=14 configuration against a mitigated CDN: with
+    // Laziness the origin only ships what the attacker pays for, so its
+    // uplink stays idle.
+    let mut experiment = FloodExperiment::paper_config(14);
+    experiment.vendor = Vendor::Cloudflare;
+    let vulnerable = experiment.run();
+    assert!(vulnerable.steady_origin_mbps() > 990.0);
+
+    // Mitigated run: per-request origin bytes collapse to ~the client
+    // bytes, so even 14 req/s is a trickle.
+    let profile = Vendor::Cloudflare.profile().with_mitigation(MitigationConfig {
+        force_laziness: true,
+        ..MitigationConfig::none()
+    });
+    let probe = SbrAttack::new(Vendor::Cloudflare, 10 * MB)
+        .with_profile(profile)
+        .run();
+    let per_request_origin = probe.traffic.victim_response_bytes;
+    let demand_mbps = per_request_origin as f64 * 14.0 * 8.0 / 1_000_000.0;
+    assert!(
+        demand_mbps < 1.0,
+        "mitigated demand should be <1 Mbps, got {demand_mbps:.3}"
+    );
+}

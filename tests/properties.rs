@@ -1,0 +1,206 @@
+//! Property-based tests (proptest) on the core invariants of the
+//! substrate and the attacks.
+
+use proptest::prelude::*;
+
+use rangeamp::attack::SbrAttack;
+use rangeamp::{Testbed, TARGET_HOST, TARGET_PATH};
+use rangeamp_cdn::Vendor;
+use rangeamp_http::multipart::{self, MultipartBuilder};
+use rangeamp_http::range::{coalesce, ByteRangeSpec, RangeHeader, ResolvedRange};
+use rangeamp_http::{wire, Body, Request, StatusCode};
+use rangeamp_origin::{OriginServer, ResourceStore};
+
+fn spec_strategy() -> impl Strategy<Value = ByteRangeSpec> {
+    prop_oneof![
+        (0u64..100_000).prop_flat_map(|first| {
+            (Just(first), first..200_000u64)
+                .prop_map(|(first, last)| ByteRangeSpec::FromTo { first, last })
+        }),
+        (0u64..100_000).prop_map(|first| ByteRangeSpec::From { first }),
+        (1u64..100_000).prop_map(|len| ByteRangeSpec::Suffix { len }),
+    ]
+}
+
+fn header_strategy() -> impl Strategy<Value = RangeHeader> {
+    proptest::collection::vec(spec_strategy(), 1..12)
+        .prop_map(|specs| RangeHeader::new(specs).expect("strategy yields valid specs"))
+}
+
+proptest! {
+    #[test]
+    fn range_headers_round_trip_display_parse(header in header_strategy()) {
+        let text = header.to_string();
+        let reparsed = RangeHeader::parse(&text).expect("display output is valid");
+        prop_assert_eq!(reparsed, header);
+    }
+
+    #[test]
+    fn resolution_is_always_in_bounds(
+        header in header_strategy(),
+        complete in 1u64..1_000_000,
+    ) {
+        for range in header.resolve(complete) {
+            prop_assert!(range.first <= range.last);
+            prop_assert!(range.last < complete);
+            prop_assert!(!range.is_empty() && range.len() <= complete);
+        }
+    }
+
+    #[test]
+    fn coalesce_is_sorted_disjoint_and_idempotent(
+        header in header_strategy(),
+        complete in 1u64..1_000_000,
+    ) {
+        let resolved = header.resolve(complete);
+        let merged = coalesce(&resolved);
+        for window in merged.windows(2) {
+            // Strictly increasing and non-touching.
+            prop_assert!(window[0].last + 1 < window[1].first);
+        }
+        prop_assert_eq!(coalesce(&merged), merged.clone());
+        // Coalescing never grows the byte span.
+        let naive: u64 = resolved.iter().map(ResolvedRange::len).sum();
+        let merged_total: u64 = merged.iter().map(ResolvedRange::len).sum();
+        prop_assert!(merged_total <= naive);
+    }
+
+    #[test]
+    fn coalesce_preserves_covered_bytes(
+        header in header_strategy(),
+        complete in 1u64..4096,
+    ) {
+        let resolved = header.resolve(complete);
+        let merged = coalesce(&resolved);
+        let mut covered_before = vec![false; complete as usize];
+        for r in &resolved {
+            for i in r.first..=r.last {
+                covered_before[i as usize] = true;
+            }
+        }
+        let mut covered_after = vec![false; complete as usize];
+        for r in &merged {
+            for i in r.first..=r.last {
+                covered_after[i as usize] = true;
+            }
+        }
+        prop_assert_eq!(covered_before, covered_after);
+    }
+
+    #[test]
+    fn origin_single_range_responses_are_exact(
+        first in 0u64..2048,
+        span in 0u64..512,
+        size in 1u64..4096,
+    ) {
+        let mut store = ResourceStore::new();
+        store.add_synthetic("/p.bin", size, "application/octet-stream");
+        let origin = OriginServer::new(store);
+        let last = first + span;
+        let req = Request::get("/p.bin")
+            .header("Range", format!("bytes={first}-{last}"))
+            .build();
+        let resp = origin.handle(&req);
+        if first < size {
+            prop_assert_eq!(resp.status(), StatusCode::PARTIAL_CONTENT);
+            let effective_last = last.min(size - 1);
+            prop_assert_eq!(resp.body().len(), effective_last - first + 1);
+            prop_assert_eq!(
+                resp.headers().get("content-range").map(str::to_string),
+                Some(format!("bytes {first}-{effective_last}/{size}"))
+            );
+        } else {
+            prop_assert_eq!(resp.status(), StatusCode::RANGE_NOT_SATISFIABLE);
+        }
+    }
+
+    #[test]
+    fn multipart_round_trips_for_arbitrary_satisfiable_sets(
+        header in header_strategy(),
+        complete in 1u64..4096,
+    ) {
+        let resolved = header.resolve(complete);
+        prop_assume!(!resolved.is_empty());
+        let content = Body::from((0..complete).map(|i| i as u8).collect::<Vec<_>>());
+        let mut builder = MultipartBuilder::new("x/y", complete);
+        for r in &resolved {
+            builder = builder.part(*r, content.slice(r.first, r.last + 1));
+        }
+        let payload = builder.build();
+        prop_assert_eq!(builder.encoded_len(), payload.len());
+        let parts = multipart::parse(payload.as_bytes(), multipart::DEFAULT_BOUNDARY)
+            .expect("well-formed");
+        prop_assert_eq!(parts.len(), resolved.len());
+        for (part, range) in parts.iter().zip(&resolved) {
+            let expected = content.slice(range.first, range.last + 1);
+            prop_assert_eq!(part.body.as_bytes(), expected.as_bytes());
+        }
+    }
+
+    #[test]
+    fn wire_request_round_trip(
+        path_seg in "[a-z]{1,12}",
+        query in proptest::option::of("[a-z0-9]{1,16}"),
+        header in header_strategy(),
+    ) {
+        let target = match query {
+            Some(q) => format!("/{path_seg}?r={q}"),
+            None => format!("/{path_seg}"),
+        };
+        let req = Request::get(&target)
+            .header("Host", "victim.example")
+            .header("Range", header.to_string())
+            .build();
+        let bytes = req.to_wire_bytes();
+        prop_assert_eq!(bytes.len() as u64, req.wire_len());
+        let parsed = wire::decode_request(&bytes).expect("round trip");
+        prop_assert_eq!(parsed, req);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_vendor_serves_correct_bytes_for_any_satisfiable_single_range(
+        vendor_index in 0usize..13,
+        first in 0u64..60_000,
+        span in 0u64..512,
+    ) {
+        let size = 65_536u64;
+        let vendor = Vendor::ALL[vendor_index];
+        let bed = Testbed::builder().vendor(vendor).resource(TARGET_PATH, size).build();
+        let last = (first + span).min(size - 1);
+        let req = Request::get(&format!("{TARGET_PATH}?p={first}"))
+            .header("Host", TARGET_HOST)
+            .header("Range", format!("bytes={first}-{last}"))
+            .build();
+        let resp = bed.request(&req);
+        prop_assert_eq!(resp.status(), StatusCode::PARTIAL_CONTENT);
+        let expected = bed
+            .origin()
+            .store()
+            .get(TARGET_PATH)
+            .expect("resource")
+            .slice(first, last);
+        prop_assert_eq!(resp.body().as_bytes(), expected.as_bytes());
+    }
+
+    #[test]
+    fn sbr_amplification_is_monotone_enough_in_size(
+        vendor_index in 0usize..13,
+        small_kb in 64u64..256,
+    ) {
+        // Doubling the resource must not shrink the amplification factor
+        // (sub-plateau sizes).
+        let vendor = Vendor::ALL[vendor_index];
+        let small = small_kb * 1024;
+        let f_small = SbrAttack::new(vendor, small).run().amplification_factor();
+        let f_large = SbrAttack::new(vendor, 2 * small).run().amplification_factor();
+        prop_assert!(
+            f_large >= f_small * 0.95,
+            "{} shrank: {} KB → {:.1}x, {} KB → {:.1}x",
+            vendor, small_kb, f_small, 2 * small_kb, f_large
+        );
+    }
+}
