@@ -48,13 +48,17 @@ fn bench_sbr_size_sweep(c: &mut Criterion) {
             .build();
         let attack = SbrAttack::new(Vendor::Akamai, size_mb * MB);
         group.throughput(Throughput::Bytes(size_mb * MB));
-        group.bench_with_input(BenchmarkId::from_parameter(size_mb), &attack, |b, attack| {
-            let mut round = 0u64;
-            b.iter(|| {
-                round += 1;
-                black_box(attack.run_on(&bed, round))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(size_mb),
+            &attack,
+            |b, attack| {
+                let mut round = 0u64;
+                b.iter(|| {
+                    round += 1;
+                    black_box(attack.run_on(&bed, round))
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -28,8 +28,13 @@ fn bench_range_parsing(c: &mut Criterion) {
 fn bench_coalesce(c: &mut Criterion) {
     let mut group = c.benchmark_group("coalesce");
     for n in [64usize, 1024, 10_750] {
-        let ranges: Vec<ResolvedRange> =
-            vec![ResolvedRange { first: 0, last: 1023 }; n];
+        let ranges: Vec<ResolvedRange> = vec![
+            ResolvedRange {
+                first: 0,
+                last: 1023
+            };
+            n
+        ];
         group.bench_with_input(BenchmarkId::from_parameter(n), &ranges, |b, ranges| {
             b.iter(|| coalesce(black_box(ranges)));
         });
@@ -47,7 +52,10 @@ fn bench_multipart_build(c: &mut Criterion) {
                 let mut builder = MultipartBuilder::new("application/octet-stream", 1024);
                 for _ in 0..n {
                     builder = builder.part(
-                        ResolvedRange { first: 0, last: 1023 },
+                        ResolvedRange {
+                            first: 0,
+                            last: 1023,
+                        },
                         black_box(body.clone()),
                     );
                 }

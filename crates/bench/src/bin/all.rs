@@ -55,8 +55,7 @@ fn main() {
     let h2: Vec<_> = rangeamp_cdn::Vendor::ALL
         .iter()
         .map(|&vendor| {
-            let report =
-                rangeamp::attack::SbrAttack::new(vendor, 10 * 1024 * 1024).run();
+            let report = rangeamp::attack::SbrAttack::new(vendor, 10 * 1024 * 1024).run();
             serde_json::json!({
                 "vendor": vendor.name(),
                 "factor_h1": report.amplification_factor(),

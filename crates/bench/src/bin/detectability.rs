@@ -22,7 +22,13 @@ fn main() {
         &["threshold (bytes)", "attack detection rate", "benign false-positive rate"],
     );
     for threshold in [1u64, 16, 64, 256, 1024, 65_536] {
-        let report = evaluate_detector(TinyRangeDetector { tiny_threshold: threshold }, &stream, size);
+        let report = evaluate_detector(
+            TinyRangeDetector {
+                tiny_threshold: threshold,
+            },
+            &stream,
+            size,
+        );
         table.row(vec![
             threshold.to_string(),
             format!("{:.1}%", report.true_positive_rate * 100.0),

@@ -38,12 +38,16 @@ fn main() {
     print_csv("Fig 6a — amplification factor", &points, |p| {
         format!("{:.0}", p.amplification_factor)
     });
-    print_csv("Fig 6b — response traffic CDN→client (bytes)", &points, |p| {
-        p.client_bytes.to_string()
-    });
-    print_csv("Fig 6c — response traffic origin→CDN (bytes)", &points, |p| {
-        p.origin_bytes.to_string()
-    });
+    print_csv(
+        "Fig 6b — response traffic CDN→client (bytes)",
+        &points,
+        |p| p.client_bytes.to_string(),
+    );
+    print_csv(
+        "Fig 6c — response traffic origin→CDN (bytes)",
+        &points,
+        |p| p.origin_bytes.to_string(),
+    );
 
     // The qualitative checks the paper's text makes about Fig 6.
     let factor_at = |vendor: &str, size_mb: u64| -> f64 {

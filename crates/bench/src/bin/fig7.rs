@@ -21,7 +21,10 @@ fn main() {
     for t in 0..seconds {
         print!("{t}");
         for report in &reports {
-            print!(",{:.1}", report.origin_outgoing_mbps.get(t).copied().unwrap_or(0.0));
+            print!(
+                ",{:.1}",
+                report.origin_outgoing_mbps.get(t).copied().unwrap_or(0.0)
+            );
         }
         println!();
     }

@@ -1,0 +1,17 @@
+//! Prints the per-vendor retry-amplification table: the SBR campaign
+//! re-run under a deterministic flaky-origin fault schedule, reporting
+//! how much extra back-to-origin traffic each vendor's retry policy
+//! generates on top of the range amplification itself.
+//!
+//! The fault schedule, backoff clock and vendor order are all
+//! deterministic — the same build prints byte-identical output on every
+//! run.
+//!
+//! ```text
+//! cargo run -p rangeamp-bench --release --bin retry_amp
+//! ```
+
+fn main() {
+    let reports = rangeamp_bench::retry_amp_reports();
+    println!("{}", rangeamp_bench::render_retry_amp(&reports));
+}

@@ -8,5 +8,8 @@
 fn main() {
     let rows = rangeamp_bench::scanner().scan_table2();
     println!("{}", rangeamp_bench::render_table2(&rows));
-    println!("{} FCDN-eligible vendors — the paper finds 4 (CDN77, CDNsun, Cloudflare, StackPath).", rows.len());
+    println!(
+        "{} FCDN-eligible vendors — the paper finds 4 (CDN77, CDNsun, Cloudflare, StackPath).",
+        rows.len()
+    );
 }

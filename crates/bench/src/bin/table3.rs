@@ -8,5 +8,8 @@
 fn main() {
     let rows = rangeamp_bench::scanner().scan_table3();
     println!("{}", rangeamp_bench::render_table3(&rows));
-    println!("{} BCDN-eligible vendors — the paper finds 3 (Akamai, Azure, StackPath).", rows.len());
+    println!(
+        "{} BCDN-eligible vendors — the paper finds 3 (Akamai, Azure, StackPath).",
+        rows.len()
+    );
 }

@@ -14,7 +14,8 @@ pub mod paper;
 use rangeamp::attack::{
     obr_combos, FloodExperiment, FloodReport, ObrAttack, ObrMeasurement, SbrAttack,
 };
-use rangeamp::report::TextTable;
+use rangeamp::chaos::{run_sbr_campaign, ChaosConfig, VendorChaosReport};
+use rangeamp::report::{group_digits, TextTable};
 use rangeamp::scanner::{Scanner, Table1Row, Table2Row, Table3Row};
 use rangeamp::{Testbed, TARGET_PATH};
 use rangeamp_cdn::Vendor;
@@ -52,7 +53,10 @@ pub fn sbr_points(sizes_mb: &[u64]) -> Vec<SbrPoint> {
         store.add_synthetic(TARGET_PATH, size, "application/octet-stream");
         for vendor in Vendor::ALL {
             let attack = SbrAttack::new(vendor, size);
-            let bed = Testbed::builder().vendor(vendor).store(store.clone()).build();
+            let bed = Testbed::builder()
+                .vendor(vendor)
+                .store(store.clone())
+                .build();
             let report = attack.run_on(&bed, size_mb);
             points.push(SbrPoint {
                 vendor: vendor.name().to_string(),
@@ -72,7 +76,16 @@ pub fn sbr_points(sizes_mb: &[u64]) -> Vec<SbrPoint> {
 pub fn render_table4(points: &[SbrPoint]) -> TextTable {
     let mut table = TextTable::new(
         "Table IV — SBR amplification factor by target resource size (measured vs paper)",
-        &["CDN", "Exploited Range Case", "1MB", "paper", "10MB", "paper", "25MB", "paper"],
+        &[
+            "CDN",
+            "Exploited Range Case",
+            "1MB",
+            "paper",
+            "10MB",
+            "paper",
+            "25MB",
+            "paper",
+        ],
     );
     for vendor in Vendor::ALL {
         let factor = |size_mb: u64| -> (String, String) {
@@ -97,7 +110,16 @@ pub fn render_table4(points: &[SbrPoint]) -> TextTable {
         let (m1, p1) = factor(1);
         let (m10, p10) = factor(10);
         let (m25, p25) = factor(25);
-        table.row(vec![vendor.name().to_string(), case, m1, p1, m10, p10, m25, p25]);
+        table.row(vec![
+            vendor.name().to_string(),
+            case,
+            m1,
+            p1,
+            m10,
+            p10,
+            m25,
+            p25,
+        ]);
     }
     table
 }
@@ -147,14 +169,20 @@ pub fn render_table5(measurements: &[ObrMeasurement]) -> TextTable {
 
 /// Runs Fig 7 for m = 1..=15.
 pub fn fig7_reports() -> Vec<FloodReport> {
-    (1..=15).map(|m| FloodExperiment::paper_config(m).run()).collect()
+    (1..=15)
+        .map(|m| FloodExperiment::paper_config(m).run())
+        .collect()
 }
 
 /// Renders the Fig 7 summary (steady origin outgoing bandwidth per m).
 pub fn render_fig7_summary(reports: &[FloodReport]) -> TextTable {
     let mut table = TextTable::new(
         "Fig 7 — bandwidth consumption vs attack rate m (10 MB resource, 1000 Mbps uplink, 30 s)",
-        &["m (req/s)", "origin outgoing (steady, Mbps)", "client incoming peak (Kbps)"],
+        &[
+            "m (req/s)",
+            "origin outgoing (steady, Mbps)",
+            "client incoming peak (Kbps)",
+        ],
     );
     for report in reports {
         table.row(vec![
@@ -217,6 +245,47 @@ pub fn render_table3(rows: &[Table3Row]) -> TextTable {
 /// The default scanner used by the harness binaries.
 pub fn scanner() -> Scanner {
     Scanner::default()
+}
+
+/// Runs the default SBR chaos campaign (flaky origin, every vendor).
+pub fn retry_amp_reports() -> Vec<VendorChaosReport> {
+    run_sbr_campaign(&ChaosConfig::default())
+}
+
+/// Renders the per-vendor retry-amplification table: how much extra
+/// origin-side traffic each vendor's retry policy generates when the
+/// exploited SBR fetches fail and get retried.
+pub fn render_retry_amp(reports: &[VendorChaosReport]) -> TextTable {
+    let mut table = TextTable::new(
+        "Retry amplification — SBR campaign under a flaky origin (deterministic fault schedule)",
+        &[
+            "CDN",
+            "Attempts",
+            "Retries",
+            "Breaker opens",
+            "Stale serves",
+            "5xx to client",
+            "Origin bytes",
+            "Retry bytes",
+            "Retry-amp",
+            "Availability",
+        ],
+    );
+    for report in reports {
+        table.row(vec![
+            report.vendor.name().to_string(),
+            report.resilience.attempts.to_string(),
+            report.resilience.retries.to_string(),
+            report.breaker_opens.to_string(),
+            report.resilience.stale_serves.to_string(),
+            report.client_errors.to_string(),
+            group_digits(report.origin.response_bytes),
+            group_digits(report.resilience.retry_response_bytes),
+            format!("{:.3}x", report.retry_amplification()),
+            format!("{:.1}%", report.availability() * 100.0),
+        ]);
+    }
+    table
 }
 
 #[cfg(test)]

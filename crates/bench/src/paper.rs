@@ -90,7 +90,10 @@ mod tests {
 
     #[test]
     fn table5_lookup() {
-        assert_eq!(table5_reference("Cloudflare", "Akamai"), Some((10750, 7432.53)));
+        assert_eq!(
+            table5_reference("Cloudflare", "Akamai"),
+            Some((10750, 7432.53))
+        );
         assert_eq!(table5_reference("StackPath", "StackPath"), None);
     }
 

@@ -41,7 +41,10 @@ impl ReprMeta {
         builder
     }
 
-    fn apply_owned(self, builder: rangeamp_http::ResponseBuilder) -> rangeamp_http::ResponseBuilder {
+    fn apply_owned(
+        self,
+        builder: rangeamp_http::ResponseBuilder,
+    ) -> rangeamp_http::ResponseBuilder {
         self.apply(builder)
     }
 }
@@ -65,7 +68,10 @@ pub(crate) fn single_206(
     complete_length: u64,
     meta: &ReprMeta,
 ) -> Response {
-    let content_range = ContentRange::Satisfied { range, complete_length };
+    let content_range = ContentRange::Satisfied {
+        range,
+        complete_length,
+    };
     meta.apply(
         Response::builder(StatusCode::PARTIAL_CONTENT)
             .header("Date", CDN_DATE)
@@ -133,9 +139,7 @@ pub(crate) fn serve_from_full(
         return single_206(body.slice(r.first, r.last + 1), r, complete, &meta);
     }
     match multi_reply {
-        MultiReplyPolicy::NPartNoOverlapCheck => {
-            multipart_206(body, &resolved, complete, &meta)
-        }
+        MultiReplyPolicy::NPartNoOverlapCheck => multipart_206(body, &resolved, complete, &meta),
         MultiReplyPolicy::Coalesce => {
             let merged = coalesce(&resolved);
             if merged.len() == 1 {
@@ -172,8 +176,10 @@ pub(crate) fn serve_from_partial(
     multi_reply: MultiReplyPolicy,
 ) -> Option<Response> {
     let content_range = partial.headers().get("content-range")?;
-    let ContentRange::Satisfied { range: window, complete_length } =
-        ContentRange::parse(content_range).ok()?
+    let ContentRange::Satisfied {
+        range: window,
+        complete_length,
+    } = ContentRange::parse(content_range).ok()?
     else {
         return None;
     };
@@ -187,13 +193,23 @@ pub(crate) fn serve_from_partial(
     {
         return None;
     }
+    // A short (truncated or malformed) body cannot back the advertised
+    // window; refuse rather than slice out of bounds.
+    if partial.body().len() < window.len() {
+        return None;
+    }
     let meta = ReprMeta::of(partial);
     let slice_of = |r: &ResolvedRange| -> Body {
         let offset = r.first - window.first;
         partial.body().slice(offset, offset + r.len())
     };
     if resolved.len() == 1 {
-        return Some(single_206(slice_of(&resolved[0]), resolved[0], complete_length, &meta));
+        return Some(single_206(
+            slice_of(&resolved[0]),
+            resolved[0],
+            complete_length,
+            &meta,
+        ));
     }
     let build_multipart = |ranges: &[ResolvedRange]| -> Response {
         let mut builder = MultipartBuilder::new(&meta.content_type, complete_length);
@@ -245,18 +261,23 @@ pub(crate) fn slice_single_from_partial(
     partial: &Response,
 ) -> Option<Response> {
     let content_range = partial.headers().get("content-range")?;
-    let ContentRange::Satisfied { range: window, complete_length } =
-        ContentRange::parse(content_range).ok()?
+    let ContentRange::Satisfied {
+        range: window,
+        complete_length,
+    } = ContentRange::parse(content_range).ok()?
     else {
         return None;
     };
     if requested.first < window.first || requested.last > window.last {
         return None;
     }
+    // Guard against a body shorter than the advertised window (truncated
+    // or malformed upstream responses must not panic the edge).
+    if partial.body().len() < window.len() {
+        return None;
+    }
     let offset = requested.first - window.first;
-    let slice = partial
-        .body()
-        .slice(offset, offset + requested.len());
+    let slice = partial.body().slice(offset, offset + requested.len());
     Some(single_206(
         slice,
         requested,
@@ -294,7 +315,10 @@ mod tests {
         let resp = serve_from_full(Some(&header), &full, MultiReplyPolicy::Coalesce);
         assert_eq!(resp.status(), StatusCode::PARTIAL_CONTENT);
         assert_eq!(resp.headers().get("content-range"), Some("bytes 10-19/100"));
-        assert_eq!(resp.body().as_bytes(), (10u8..20).collect::<Vec<_>>().as_slice());
+        assert_eq!(
+            resp.body().as_bytes(),
+            (10u8..20).collect::<Vec<_>>().as_slice()
+        );
     }
 
     #[test]
@@ -329,7 +353,11 @@ mod tests {
     fn reject_policy_416s_overlaps_but_allows_disjoint() {
         let full = full_of(100);
         let overlapping = RangeHeader::parse("bytes=0-,0-").unwrap();
-        let resp = serve_from_full(Some(&overlapping), &full, MultiReplyPolicy::RejectOverlapping);
+        let resp = serve_from_full(
+            Some(&overlapping),
+            &full,
+            MultiReplyPolicy::RejectOverlapping,
+        );
         assert_eq!(resp.status(), StatusCode::RANGE_NOT_SATISFIABLE);
 
         let disjoint = RangeHeader::parse("bytes=0-4,90-94").unwrap();
@@ -353,7 +381,10 @@ mod tests {
 
     #[test]
     fn slice_from_partial_within_window() {
-        let window = ResolvedRange { first: 1000, last: 1999 };
+        let window = ResolvedRange {
+            first: 1000,
+            last: 1999,
+        };
         let partial = single_206(
             Body::from((0..1000).map(|i| i as u8).collect::<Vec<_>>()),
             window,
@@ -364,16 +395,25 @@ mod tests {
                 last_modified: None,
             },
         );
-        let requested = ResolvedRange { first: 1500, last: 1501 };
+        let requested = ResolvedRange {
+            first: 1500,
+            last: 1501,
+        };
         let resp = slice_single_from_partial(requested, &partial).unwrap();
-        assert_eq!(resp.headers().get("content-range"), Some("bytes 1500-1501/10000"));
+        assert_eq!(
+            resp.headers().get("content-range"),
+            Some("bytes 1500-1501/10000")
+        );
         assert_eq!(resp.body().len(), 2);
         assert_eq!(resp.body().as_bytes(), &[244, 245]); // 500, 501 mod 256
     }
 
     #[test]
     fn slice_from_partial_outside_window_is_none() {
-        let window = ResolvedRange { first: 1000, last: 1999 };
+        let window = ResolvedRange {
+            first: 1000,
+            last: 1999,
+        };
         let partial = single_206(
             Body::from(vec![0u8; 1000]),
             window,
@@ -384,9 +424,15 @@ mod tests {
                 last_modified: None,
             },
         );
-        let requested = ResolvedRange { first: 500, last: 501 };
+        let requested = ResolvedRange {
+            first: 500,
+            last: 501,
+        };
         assert!(slice_single_from_partial(requested, &partial).is_none());
-        let straddling = ResolvedRange { first: 1999, last: 2000 };
+        let straddling = ResolvedRange {
+            first: 1999,
+            last: 2000,
+        };
         assert!(slice_single_from_partial(straddling, &partial).is_none());
     }
 }

@@ -17,6 +17,8 @@ use rangeamp_http::Response;
 pub struct CachedEntry {
     /// The stored 200 response (complete body).
     pub response: Response,
+    /// Virtual instant (ms) the entry was stored, for TTL freshness.
+    pub stored_at_ms: u64,
 }
 
 #[derive(Debug)]
@@ -25,6 +27,8 @@ struct CacheInner {
     /// Keys in least-recently-used-first order.
     lru: Vec<String>,
     max_entries: usize,
+    /// Freshness lifetime in virtual ms; `None` = entries never expire.
+    ttl_ms: Option<u64>,
     evictions: u64,
     // KeyCDN's observed two-step behaviour needs per-key request history.
     seen: HashSet<String>,
@@ -38,6 +42,7 @@ impl Default for CacheInner {
             entries: HashMap::new(),
             lru: Vec::new(),
             max_entries: Cache::DEFAULT_MAX_ENTRIES,
+            ttl_ms: None,
             evictions: 0,
             seen: HashSet::new(),
             hits: 0,
@@ -99,16 +104,38 @@ impl Cache {
         cache
     }
 
+    /// Gives entries a freshness lifetime of `ttl_ms` virtual
+    /// milliseconds. Expired entries stop counting as hits but stay
+    /// stored, so the resilience layer can serve them *stale* (with
+    /// `Warning: 110`) while the upstream is failing.
+    pub fn with_ttl(self, ttl_ms: u64) -> Cache {
+        self.inner.lock().ttl_ms = Some(ttl_ms);
+        self
+    }
+
     /// Builds the cache key for a host + request target pair.
     pub fn key(host: &str, uri: &str) -> String {
         format!("{host}|{uri}")
     }
 
-    /// Looks up a full representation, counting hit/miss statistics and
-    /// refreshing recency.
+    /// Looks up a full representation at virtual instant zero (for
+    /// callers that don't track time; equivalent to [`Cache::get_at`]
+    /// with `now_ms = 0`).
     pub fn get(&self, key: &str) -> Option<CachedEntry> {
+        self.get_at(key, 0)
+    }
+
+    /// Looks up a *fresh* representation at `now_ms`, counting hit/miss
+    /// statistics and refreshing recency. An expired entry counts as a
+    /// miss but is retained for [`Cache::get_stale`].
+    pub fn get_at(&self, key: &str, now_ms: u64) -> Option<CachedEntry> {
         let mut inner = self.inner.lock();
-        match inner.entries.get(key).cloned() {
+        let fresh = inner.entries.get(key).cloned().filter(|entry| {
+            inner
+                .ttl_ms
+                .is_none_or(|ttl| now_ms < entry.stored_at_ms.saturating_add(ttl))
+        });
+        match fresh {
             Some(entry) => {
                 inner.hits += 1;
                 inner.touch(key);
@@ -121,11 +148,28 @@ impl Cache {
         }
     }
 
-    /// Stores a full representation, evicting the least recently used
-    /// entries beyond capacity.
+    /// Looks up a representation regardless of freshness — the
+    /// serve-stale fallback when the upstream is failing. Does not touch
+    /// hit/miss statistics or recency.
+    pub fn get_stale(&self, key: &str) -> Option<CachedEntry> {
+        self.inner.lock().entries.get(key).cloned()
+    }
+
+    /// Stores a full representation at virtual instant zero (see
+    /// [`Cache::put_at`]).
     pub fn put(&self, key: &str, response: Response) {
+        self.put_at(key, response, 0);
+    }
+
+    /// Stores a full representation stamped at `now_ms`, evicting the
+    /// least recently used entries beyond capacity.
+    pub fn put_at(&self, key: &str, response: Response, now_ms: u64) {
         let mut inner = self.inner.lock();
-        if inner.entries.insert(key.to_string(), CachedEntry { response }).is_none() {
+        let entry = CachedEntry {
+            response,
+            stored_at_ms: now_ms,
+        };
+        if inner.entries.insert(key.to_string(), entry).is_none() {
             inner.lru.push(key.to_string());
         } else {
             inner.touch(key);
@@ -267,7 +311,10 @@ mod tests {
         let cache = Cache::with_capacity(4);
         cache.put(&Cache::key("victim", "/popular.bin"), response_of(10));
         for i in 0..16 {
-            cache.put(&Cache::key("victim", &format!("/f.bin?rnd={i}")), response_of(1));
+            cache.put(
+                &Cache::key("victim", &format!("/f.bin?rnd={i}")),
+                response_of(1),
+            );
         }
         assert!(cache.get(&Cache::key("victim", "/popular.bin")).is_none());
         assert!(cache.evictions() >= 12);

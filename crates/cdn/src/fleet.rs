@@ -236,6 +236,11 @@ mod tests {
         let mut store = ResourceStore::new();
         store.add_synthetic("/f.bin", 1024, "x/y");
         let origin = Arc::new(OriginServer::new(store));
-        CdnFleet::new(Vendor::Akamai.profile(), 0, origin, IngressStrategy::RoundRobin);
+        CdnFleet::new(
+            Vendor::Akamai.profile(),
+            0,
+            origin,
+            IngressStrategy::RoundRobin,
+        );
     }
 }

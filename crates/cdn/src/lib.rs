@@ -56,13 +56,17 @@ mod fleet;
 mod limits;
 mod node;
 mod policy;
+mod resilience;
 mod upstream;
 pub mod vendor;
 
-pub use cache::Cache;
+pub use cache::{Cache, CachedEntry};
 pub use fleet::{CdnFleet, IngressStrategy};
-pub use limits::{max_overlapping_ranges, max_overlapping_ranges_with_hop, HeaderLimits, ObrRangeCase};
+pub use limits::{
+    max_overlapping_ranges, max_overlapping_ranges_with_hop, HeaderLimits, ObrRangeCase,
+};
 pub use node::EdgeNode;
 pub use policy::{MitigationConfig, MultiReplyPolicy, RangePolicy};
-pub use upstream::{OriginUpstream, UpstreamService};
+pub use resilience::{BreakerConfig, CircuitBreaker, Resilience, ResilienceStats, RetryPolicy};
+pub use upstream::{ClockedOrigin, FaultyUpstream, OriginUpstream, UpstreamError, UpstreamService};
 pub use vendor::{Vendor, VendorProfile};

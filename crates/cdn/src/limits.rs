@@ -268,12 +268,18 @@ mod tests {
 
     #[test]
     fn case_shapes_render_like_table_v() {
-        assert_eq!(ObrRangeCase::AllZeroOpen.header(3).to_string(), "bytes=0-,0-,0-");
+        assert_eq!(
+            ObrRangeCase::AllZeroOpen.header(3).to_string(),
+            "bytes=0-,0-,0-"
+        );
         assert_eq!(
             ObrRangeCase::SuffixThenZero.header(3).to_string(),
             "bytes=-1024,0-,0-"
         );
-        assert_eq!(ObrRangeCase::OneThenZero.header(3).to_string(), "bytes=1-,0-,0-");
+        assert_eq!(
+            ObrRangeCase::OneThenZero.header(3).to_string(),
+            "bytes=1-,0-,0-"
+        );
     }
 
     #[test]

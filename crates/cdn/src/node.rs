@@ -2,11 +2,11 @@ use std::sync::Arc;
 
 use rangeamp_http::range::{coalesce, ByteRangeSpec, RangeHeader};
 use rangeamp_http::{Request, Response, StatusCode};
-use rangeamp_net::Segment;
+use rangeamp_net::{Segment, SharedClock};
 
 use crate::assemble;
 use crate::vendor::{self, MissCtx, MissReply, MissResult, VendorProfile};
-use crate::{Cache, MultiReplyPolicy, UpstreamService};
+use crate::{BreakerConfig, Cache, MultiReplyPolicy, Resilience, UpstreamError, UpstreamService};
 
 /// A CDN edge node: cache + vendor behaviour profile + metered upstream
 /// connection.
@@ -22,27 +22,55 @@ pub struct EdgeNode {
     cache: Cache,
     upstream: Arc<dyn UpstreamService>,
     segment: Segment,
+    resilience: Resilience,
 }
 
 impl EdgeNode {
     /// Creates an edge node fronting `upstream`, metering back-to-origin
-    /// traffic on `segment`.
+    /// traffic on `segment`. Resilience (retry/backoff + circuit
+    /// breaker) defaults to the vendor's [`RetryPolicy`] on a fresh
+    /// virtual clock.
+    ///
+    /// [`RetryPolicy`]: crate::RetryPolicy
     pub fn new(
         profile: VendorProfile,
         upstream: Arc<dyn UpstreamService>,
         segment: Segment,
     ) -> EdgeNode {
+        let resilience =
+            Resilience::new(profile.retry, BreakerConfig::default(), SharedClock::new());
         EdgeNode {
             profile,
             cache: Cache::new(),
             upstream,
             segment,
+            resilience,
         }
+    }
+
+    /// Replaces the resilience layer (retry policy, breaker config,
+    /// shared virtual clock) — used by chaos campaigns that drive many
+    /// edges off one clock.
+    pub fn with_resilience(mut self, resilience: Resilience) -> EdgeNode {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Replaces the edge cache — used to install a TTL'd cache so that
+    /// serve-stale has expired entries to fall back on.
+    pub fn with_cache(mut self, cache: Cache) -> EdgeNode {
+        self.cache = cache;
+        self
     }
 
     /// The vendor profile in force.
     pub fn profile(&self) -> &VendorProfile {
         &self.profile
+    }
+
+    /// The resilience layer (retry/breaker state and statistics).
+    pub fn resilience(&self) -> &Resilience {
+        &self.resilience
     }
 
     /// The back-to-origin segment (for traffic inspection).
@@ -116,8 +144,7 @@ impl EdgeNode {
         let mitigation = self.profile.mitigation;
         if mitigation.reject_overlapping {
             if let Some(header) = &range {
-                if header.is_multi()
-                    && header.overlapping_pairs(size_hint.unwrap_or(u64::MAX)) > 0
+                if header.is_multi() && header.overlapping_pairs(size_hint.unwrap_or(u64::MAX)) > 0
                 {
                     return self.finish(
                         assemble::not_satisfiable(size_hint.unwrap_or(0)),
@@ -140,7 +167,8 @@ impl EdgeNode {
         let host = req.headers().get("host").unwrap_or("-").to_string();
         let cache_key = Cache::key(&host, &req.uri().to_string());
         if self.profile.cache_enabled {
-            if let Some(entry) = self.cache.get(&cache_key) {
+            let now_ms = self.resilience.clock().now_millis();
+            if let Some(entry) = self.cache.get_at(&cache_key, now_ms) {
                 let resp = assemble::serve_from_full(
                     range.as_ref(),
                     &entry.response,
@@ -161,51 +189,83 @@ impl EdgeNode {
             cache_key: cache_key.clone(),
             backend_truncate,
             via_token: &via_token,
+            resilience: &self.resilience,
         };
-        let result = self.handle_miss_with_mitigation(&mut ctx);
+        let outcome = self.handle_miss_with_mitigation(&mut ctx);
 
-        // 5. Assemble the client-facing response.
-        let extra = result.extra_headers.clone();
-        let resp = match result.reply {
-            MissReply::Passthrough(upstream_resp) => {
-                if result.cacheable && upstream_resp.status() == StatusCode::OK {
-                    self.store(&cache_key, &upstream_resp);
-                }
-                if upstream_resp.status() == StatusCode::OK && range.is_some() {
-                    // RFC 2616 (quoted in the paper's §VI-B): a proxy that
-                    // forwarded a range request and "receives an entire
-                    // entity ... should only return the requested range to
-                    // its client". This is why all 13 CDNs answer 206 even
-                    // when the origin ignores ranges (§III-B).
-                    assemble::serve_from_full(
-                        range.as_ref(),
-                        &upstream_resp,
-                        self.effective_multi_reply(),
-                    )
-                } else {
-                    upstream_resp
-                }
+        // 5. Assemble the client-facing response. An upstream failure
+        //    that survived the retry policy becomes a 502/504.
+        let (resp, extra) = match outcome {
+            Ok(result) => {
+                let extra = result.extra_headers.clone();
+                let resp = match result.reply {
+                    MissReply::Passthrough(upstream_resp) => {
+                        if result.cacheable && upstream_resp.status() == StatusCode::OK {
+                            self.store(&cache_key, &upstream_resp);
+                        }
+                        if upstream_resp.status() == StatusCode::OK && range.is_some() {
+                            // RFC 2616 (quoted in the paper's §VI-B): a proxy that
+                            // forwarded a range request and "receives an entire
+                            // entity ... should only return the requested range to
+                            // its client". This is why all 13 CDNs answer 206 even
+                            // when the origin ignores ranges (§III-B).
+                            assemble::serve_from_full(
+                                range.as_ref(),
+                                &upstream_resp,
+                                self.effective_multi_reply(),
+                            )
+                        } else {
+                            upstream_resp
+                        }
+                    }
+                    MissReply::ServeFromFull(full) => {
+                        if result.cacheable && full.status() == StatusCode::OK {
+                            self.store(&cache_key, &full);
+                        }
+                        if full.status().is_success() {
+                            assemble::serve_from_full(
+                                range.as_ref(),
+                                &full,
+                                self.effective_multi_reply(),
+                            )
+                        } else {
+                            full // propagate origin errors (404 etc.)
+                        }
+                    }
+                    MissReply::Direct(resp) => resp,
+                    MissReply::Reject(status) => Response::builder(status)
+                        .header("Date", assemble::CDN_DATE)
+                        .sized_body("rejected by edge policy")
+                        .build(),
+                };
+                (resp, extra)
             }
-            MissReply::ServeFromFull(full) => {
-                if result.cacheable && full.status() == StatusCode::OK {
-                    self.store(&cache_key, &full);
-                }
-                if full.status().is_success() {
-                    assemble::serve_from_full(range.as_ref(), &full, self.effective_multi_reply())
-                } else {
-                    full // propagate origin errors (404 etc.)
-                }
-            }
-            MissReply::Direct(resp) => resp,
-            MissReply::Reject(status) => Response::builder(status)
-                .header("Date", assemble::CDN_DATE)
-                .sized_body("rejected by edge policy")
-                .build(),
+            Err(err) => (upstream_error_response(&err), Vec::new()),
         };
+
+        // 5b. Serve-stale: a 5xx outcome falls back to an expired cached
+        //     copy when one exists (RFC 5861 stale-if-error behaviour).
+        if resp.status().as_u16() >= 500 && self.profile.cache_enabled {
+            if let Some(entry) = self.cache.get_stale(&cache_key) {
+                self.resilience.with_stats(|s| s.stale_serves += 1);
+                let mut stale = assemble::serve_from_full(
+                    range.as_ref(),
+                    &entry.response,
+                    self.effective_multi_reply(),
+                );
+                stale
+                    .headers_mut()
+                    .append("Warning", "110 - \"Response is Stale\"");
+                return self.finish(stale, &[], "STALE");
+            }
+        }
         self.finish(resp, &extra, "MISS")
     }
 
-    fn handle_miss_with_mitigation(&self, ctx: &mut MissCtx<'_>) -> MissResult {
+    fn handle_miss_with_mitigation(
+        &self,
+        ctx: &mut MissCtx<'_>,
+    ) -> Result<MissResult, UpstreamError> {
         let mitigation = self.profile.mitigation;
         if mitigation.force_laziness {
             return vendor::laziness(ctx);
@@ -225,7 +285,12 @@ impl EdgeNode {
     /// The paper's "better way" (§VI-C): expand the requested range by at
     /// most `cap` bytes, so back-to-origin traffic can never exceed the
     /// client's request by more than the cap.
-    fn capped_expansion(&self, ctx: &MissCtx<'_>, header: &RangeHeader, cap: u64) -> MissResult {
+    fn capped_expansion(
+        &self,
+        ctx: &MissCtx<'_>,
+        header: &RangeHeader,
+        cap: u64,
+    ) -> Result<MissResult, UpstreamError> {
         let spec = header.specs()[0];
         let expanded = match spec {
             ByteRangeSpec::FromTo { first, last } => {
@@ -239,23 +304,32 @@ impl EdgeNode {
             // edge; expanding them buys no cacheable context.
             other => other,
         };
-        let expanded_header =
-            RangeHeader::new(vec![expanded]).expect("expanded spec is valid");
-        let upstream_resp = ctx.fetch(Some(&expanded_header));
+        let expanded_header = RangeHeader::new(vec![expanded]).expect("expanded spec is valid");
+        let upstream_resp = ctx.fetch(Some(&expanded_header))?;
         if upstream_resp.status() != StatusCode::PARTIAL_CONTENT {
             // Origin ignored the range: fall back to a full-copy serve.
-            return MissResult::new(MissReply::ServeFromFull(upstream_resp), true);
+            return Ok(MissResult::new(
+                MissReply::ServeFromFull(upstream_resp),
+                true,
+            ));
         }
         let complete = match ctx.resource_size {
             Some(size) => size,
-            None => return MissResult::new(MissReply::Passthrough(upstream_resp), false),
+            None => {
+                return Ok(MissResult::new(
+                    MissReply::Passthrough(upstream_resp),
+                    false,
+                ))
+            }
         };
-        match spec.resolve(complete).and_then(|requested| {
-            assemble::slice_single_from_partial(requested, &upstream_resp)
-        }) {
-            Some(resp) => MissResult::new(MissReply::Direct(resp), false),
-            None => MissResult::new(MissReply::Passthrough(upstream_resp), false),
-        }
+        Ok(
+            match spec.resolve(complete).and_then(|requested| {
+                assemble::slice_single_from_partial(requested, &upstream_resp)
+            }) {
+                Some(resp) => MissResult::new(MissReply::Direct(resp), false),
+                None => MissResult::new(MissReply::Passthrough(upstream_resp), false),
+            },
+        )
     }
 
     fn effective_multi_reply(&self) -> MultiReplyPolicy {
@@ -268,33 +342,57 @@ impl EdgeNode {
 
     fn store(&self, key: &str, resp: &Response) {
         if self.profile.cache_enabled {
-            self.cache.put(key, resp.clone());
+            self.cache
+                .put_at(key, resp.clone(), self.resilience.clock().now_millis());
         }
     }
 
     /// Appends the vendor's standing headers, per-request extras, and the
     /// cache-status header every CDN exposes.
-    fn finish(&self, mut resp: Response, extra: &[(String, String)], cache_status: &str) -> Response {
+    fn finish(
+        &self,
+        mut resp: Response,
+        extra: &[(String, String)],
+        cache_status: &str,
+    ) -> Response {
         for (name, value) in &self.profile.extra_headers {
             resp.headers_mut().append(name, value.clone());
         }
         for (name, value) in extra {
             resp.headers_mut().append(name, value.clone());
         }
-        resp.headers_mut()
-            .append("X-Cache", format!("{cache_status} from {}", self.profile.vendor));
+        resp.headers_mut().append(
+            "X-Cache",
+            format!("{cache_status} from {}", self.profile.vendor),
+        );
         resp
     }
 }
 
 impl UpstreamService for EdgeNode {
-    fn handle(&self, req: &Request) -> Response {
-        EdgeNode::handle(self, req)
+    fn handle(&self, req: &Request) -> Result<Response, UpstreamError> {
+        // An edge never *fails* as an upstream: its own failures have
+        // already been converted to 502/504 client responses.
+        Ok(EdgeNode::handle(self, req))
     }
 
     fn resource_size(&self, path: &str) -> Option<u64> {
         self.upstream.resource_size(path)
     }
+}
+
+/// Maps a post-retry upstream failure to the client-facing error status:
+/// timeouts become 504, everything else (reset, truncation, malformed
+/// response, open breaker) becomes 502.
+fn upstream_error_response(err: &UpstreamError) -> Response {
+    let status = match err {
+        UpstreamError::Timeout => StatusCode::GATEWAY_TIMEOUT,
+        _ => StatusCode::BAD_GATEWAY,
+    };
+    Response::builder(status)
+        .header("Date", assemble::CDN_DATE)
+        .sized_body(format!("upstream fetch failed: {err}").into_bytes())
+        .build()
 }
 
 /// Coalesces a multi-range header against a known representation size,
@@ -310,7 +408,10 @@ fn coalesce_header(header: &RangeHeader, complete_length: u64) -> RangeHeader {
             if r.last + 1 == complete_length {
                 ByteRangeSpec::From { first: r.first }
             } else {
-                ByteRangeSpec::FromTo { first: r.first, last: r.last }
+                ByteRangeSpec::FromTo {
+                    first: r.first,
+                    last: r.last,
+                }
             }
         })
         .collect();
@@ -382,7 +483,11 @@ mod tests {
         let (edge, segment) = testbed(Vendor::Akamai, MB);
         edge.handle(&sbr_request("bytes=0-0", 1));
         edge.handle(&sbr_request("bytes=0-0", 2));
-        assert_eq!(segment.stats().requests, 2, "both requests reached the origin");
+        assert_eq!(
+            segment.stats().requests,
+            2,
+            "both requests reached the origin"
+        );
     }
 
     #[test]
@@ -398,7 +503,10 @@ mod tests {
     fn vendor_headers_and_cache_status_are_appended() {
         let (edge, _) = testbed(Vendor::Cloudflare, MB);
         let resp = edge.handle(&sbr_request("bytes=0-0", 1));
-        assert!(resp.headers().contains("cf-ray"), "Cloudflare brands responses");
+        assert!(
+            resp.headers().contains("cf-ray"),
+            "Cloudflare brands responses"
+        );
         assert!(resp
             .headers()
             .get_all("x-cache")
@@ -408,12 +516,10 @@ mod tests {
 
     #[test]
     fn force_laziness_mitigation_kills_sbr() {
-        let profile = Vendor::Akamai
-            .profile()
-            .with_mitigation(MitigationConfig {
-                force_laziness: true,
-                ..MitigationConfig::none()
-            });
+        let profile = Vendor::Akamai.profile().with_mitigation(MitigationConfig {
+            force_laziness: true,
+            ..MitigationConfig::none()
+        });
         let (edge, segment) = testbed_with_profile(profile, MB);
         let resp = edge.handle(&sbr_request("bytes=0-0", 1));
         assert_eq!(resp.status(), StatusCode::PARTIAL_CONTENT);
@@ -447,12 +553,10 @@ mod tests {
 
     #[test]
     fn reject_overlapping_mitigation_416s_obr_shape() {
-        let profile = Vendor::Akamai
-            .profile()
-            .with_mitigation(MitigationConfig {
-                reject_overlapping: true,
-                ..MitigationConfig::none()
-            });
+        let profile = Vendor::Akamai.profile().with_mitigation(MitigationConfig {
+            reject_overlapping: true,
+            ..MitigationConfig::none()
+        });
         let (edge, segment) = testbed_with_profile(profile, MB);
         let resp = edge.handle(&sbr_request("bytes=0-,0-,0-", 1));
         assert_eq!(resp.status(), StatusCode::RANGE_NOT_SATISFIABLE);
@@ -461,18 +565,19 @@ mod tests {
 
     #[test]
     fn coalesce_mitigation_merges_before_reply() {
-        let profile = Vendor::Akamai
-            .profile()
-            .with_mitigation(MitigationConfig {
-                coalesce_multi: true,
-                ..MitigationConfig::none()
-            });
+        let profile = Vendor::Akamai.profile().with_mitigation(MitigationConfig {
+            coalesce_multi: true,
+            ..MitigationConfig::none()
+        });
         let (edge, _) = testbed_with_profile(profile, 1000);
         let resp = edge.handle(&sbr_request("bytes=0-,0-,0-", 1));
         assert_eq!(resp.status(), StatusCode::PARTIAL_CONTENT);
         // Merged to one range → plain 206, body exactly once.
         assert_eq!(resp.body().len(), 1000);
-        assert_eq!(resp.headers().get("content-range"), Some("bytes 0-999/1000"));
+        assert_eq!(
+            resp.headers().get("content-range"),
+            Some("bytes 0-999/1000")
+        );
     }
 
     #[test]
@@ -528,7 +633,11 @@ mod tests {
             .build();
         let resp = edge.handle(&req);
         assert_eq!(resp.status(), StatusCode::BAD_GATEWAY);
-        assert_eq!(segment.stats().requests, 0, "loop rejected before forwarding");
+        assert_eq!(
+            segment.stats().requests,
+            0,
+            "loop rejected before forwarding"
+        );
     }
 
     #[test]

@@ -1,0 +1,397 @@
+//! Edge resilience: retry with capped exponential backoff, a per-upstream
+//! circuit breaker, and the bookkeeping that turns both into the paper's
+//! amplification language.
+//!
+//! The RangeAmp attacks measure how many origin-side bytes one client
+//! request provokes. Retries multiply that number: an edge configured for
+//! `n` attempts can fetch the same (deleted-Range, i.e. full-body)
+//! response up to `n` times when the origin is flaky, so the SBR
+//! amplification factor grows by up to `n` *on top of* the range-rewrite
+//! amplification. [`ResilienceStats`] meters exactly that surplus
+//! (`retry_request_bytes` / `retry_response_bytes`), and the circuit
+//! breaker + serve-stale pair is the countervailing mechanism that caps
+//! it.
+//!
+//! All timing is virtual: backoff advances a [`SharedClock`] by the
+//! computed delay, and the breaker's open window is compared against the
+//! same clock, so chaos campaigns are exactly reproducible.
+//!
+//! [`SharedClock`]: rangeamp_net::SharedClock
+
+use parking_lot::Mutex;
+use rangeamp_net::SharedClock;
+
+/// Retry budget for back-to-origin fetches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, the first included (`1` ⇒ never retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in virtual milliseconds.
+    pub base_backoff_ms: u64,
+    /// Ceiling on any single backoff, in virtual milliseconds.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 2,
+            base_backoff_ms: 200,
+            max_backoff_ms: 2_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+        }
+    }
+
+    /// Convenience constructor.
+    pub fn new(max_attempts: u32, base_backoff_ms: u64, max_backoff_ms: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_backoff_ms,
+            max_backoff_ms,
+        }
+    }
+
+    /// Backoff before retry number `retry_index` (0-based): capped
+    /// exponential, `base × 2^index`, never above `max_backoff_ms`.
+    pub fn backoff_ms(&self, retry_index: u32) -> u64 {
+        let doubled = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << retry_index.min(32));
+        doubled.min(self.max_backoff_ms)
+    }
+}
+
+/// Sizing of the circuit breaker's state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive upstream failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open, in virtual milliseconds.
+    pub open_ms: u64,
+    /// Probe requests allowed through once the open window elapses.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 5,
+            open_ms: 30_000,
+            half_open_probes: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed { consecutive_failures: u32 },
+    Open { until_ms: u64 },
+    HalfOpen { probes_left: u32 },
+}
+
+/// A closed → open → half-open circuit breaker on virtual time.
+///
+/// While open, the edge refuses to contact the upstream at all — the
+/// request either fails fast (502) or is served stale from an expired
+/// cache entry. After [`BreakerConfig::open_ms`] the breaker lets
+/// [`BreakerConfig::half_open_probes`] requests through: one success
+/// recloses it, one failure reopens it for another window.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given sizing.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed {
+                consecutive_failures: 0,
+            },
+            opens: 0,
+        }
+    }
+
+    /// Whether a request may go upstream at `now_ms`. Consumes a probe
+    /// slot when half-open.
+    pub fn allow_request(&mut self, now_ms: u64) -> bool {
+        match self.state {
+            BreakerState::Closed { .. } => true,
+            BreakerState::Open { until_ms } => {
+                if now_ms < until_ms {
+                    return false;
+                }
+                // Open window elapsed: move to half-open and admit this
+                // request as the first probe.
+                let probes = self.config.half_open_probes.max(1);
+                self.state = BreakerState::HalfOpen {
+                    probes_left: probes - 1,
+                };
+                true
+            }
+            BreakerState::HalfOpen { probes_left } => {
+                if probes_left == 0 {
+                    return false;
+                }
+                self.state = BreakerState::HalfOpen {
+                    probes_left: probes_left - 1,
+                };
+                true
+            }
+        }
+    }
+
+    /// Records a successful upstream exchange.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed {
+            consecutive_failures: 0,
+        };
+    }
+
+    /// Records a failed upstream exchange, possibly tripping the breaker.
+    pub fn record_failure(&mut self, now_ms: u64) {
+        match self.state {
+            BreakerState::Closed {
+                consecutive_failures,
+            } => {
+                let failures = consecutive_failures + 1;
+                if failures >= self.config.failure_threshold {
+                    self.state = BreakerState::Open {
+                        until_ms: now_ms + self.config.open_ms,
+                    };
+                    self.opens += 1;
+                } else {
+                    self.state = BreakerState::Closed {
+                        consecutive_failures: failures,
+                    };
+                }
+            }
+            BreakerState::HalfOpen { .. } => {
+                self.state = BreakerState::Open {
+                    until_ms: now_ms + self.config.open_ms,
+                };
+                self.opens += 1;
+            }
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    /// How many times the breaker has tripped open.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// The state's name (`"closed"`, `"open"`, `"half-open"`), for tests
+    /// and reports.
+    pub fn state_name(&self) -> &'static str {
+        match self.state {
+            BreakerState::Closed { .. } => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen { .. } => "half-open",
+        }
+    }
+
+    /// The sizing in force.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+}
+
+/// Counters the resilience layer accumulates per edge node.
+///
+/// `retry_*_bytes` meter only the surplus traffic of attempts after the
+/// first — the quantity that inflates the paper's amplification factors
+/// when the origin is flaky.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Upstream fetch attempts, first tries included.
+    pub attempts: u64,
+    /// Attempts beyond the first (the retries themselves).
+    pub retries: u64,
+    /// Request bytes spent on retry attempts.
+    pub retry_request_bytes: u64,
+    /// Response bytes received on retry attempts.
+    pub retry_response_bytes: u64,
+    /// Attempts that ended in failure (error or upstream 5xx).
+    pub upstream_failures: u64,
+    /// Fetches refused outright because the breaker was open.
+    pub breaker_short_circuits: u64,
+    /// Responses served stale from an expired cache entry.
+    pub stale_serves: u64,
+}
+
+/// One edge node's resilience machinery: retry policy, circuit breaker,
+/// the virtual clock that paces both, and the accumulated counters.
+#[derive(Debug)]
+pub struct Resilience {
+    retry: RetryPolicy,
+    breaker: Mutex<CircuitBreaker>,
+    clock: SharedClock,
+    stats: Mutex<ResilienceStats>,
+}
+
+impl Resilience {
+    /// Builds the machinery around a shared virtual clock.
+    pub fn new(retry: RetryPolicy, breaker: BreakerConfig, clock: SharedClock) -> Resilience {
+        Resilience {
+            retry,
+            breaker: Mutex::new(CircuitBreaker::new(breaker)),
+            clock,
+            stats: Mutex::new(ResilienceStats::default()),
+        }
+    }
+
+    /// The retry policy in force.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The virtual clock backoffs advance.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// Snapshot of the accumulated counters.
+    pub fn stats(&self) -> ResilienceStats {
+        *self.stats.lock()
+    }
+
+    /// The breaker state's name, for tests and reports.
+    pub fn breaker_state(&self) -> &'static str {
+        self.breaker.lock().state_name()
+    }
+
+    /// How many times the breaker has tripped open.
+    pub fn breaker_opens(&self) -> u64 {
+        self.breaker.lock().opens()
+    }
+
+    pub(crate) fn allow_request(&self) -> bool {
+        self.breaker.lock().allow_request(self.clock.now_millis())
+    }
+
+    pub(crate) fn record_success(&self) {
+        self.breaker.lock().record_success();
+    }
+
+    pub(crate) fn record_failure(&self) {
+        self.breaker.lock().record_failure(self.clock.now_millis());
+    }
+
+    pub(crate) fn with_stats(&self, f: impl FnOnce(&mut ResilienceStats)) {
+        f(&mut self.stats.lock());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let policy = RetryPolicy::new(4, 100, 350);
+        assert_eq!(policy.backoff_ms(0), 100);
+        assert_eq!(policy.backoff_ms(1), 200);
+        assert_eq!(policy.backoff_ms(2), 350, "capped");
+        assert_eq!(policy.backoff_ms(40), 350, "no shift overflow");
+    }
+
+    #[test]
+    fn no_retry_policy_has_one_attempt() {
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+        assert_eq!(RetryPolicy::new(0, 1, 1).max_attempts, 1, "clamped up");
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_failures() {
+        let mut breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            open_ms: 1_000,
+            half_open_probes: 1,
+        });
+        for _ in 0..2 {
+            breaker.record_failure(0);
+            assert_eq!(breaker.state_name(), "closed");
+        }
+        breaker.record_failure(0);
+        assert_eq!(breaker.state_name(), "open");
+        assert_eq!(breaker.opens(), 1);
+        assert!(!breaker.allow_request(999));
+    }
+
+    #[test]
+    fn breaker_half_opens_then_recloses_on_success() {
+        let mut breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            open_ms: 1_000,
+            half_open_probes: 1,
+        });
+        breaker.record_failure(0);
+        assert!(
+            breaker.allow_request(1_000),
+            "window elapsed: probe allowed"
+        );
+        assert_eq!(breaker.state_name(), "half-open");
+        assert!(!breaker.allow_request(1_000), "only one probe");
+        breaker.record_success();
+        assert_eq!(breaker.state_name(), "closed");
+        assert!(breaker.allow_request(1_000));
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_window() {
+        let mut breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            open_ms: 1_000,
+            half_open_probes: 1,
+        });
+        breaker.record_failure(0);
+        assert!(breaker.allow_request(1_000));
+        breaker.record_failure(1_000);
+        assert_eq!(breaker.state_name(), "open");
+        assert_eq!(breaker.opens(), 2);
+        assert!(!breaker.allow_request(1_999));
+        assert!(breaker.allow_request(2_000));
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            open_ms: 1_000,
+            half_open_probes: 1,
+        });
+        breaker.record_failure(0);
+        breaker.record_success();
+        breaker.record_failure(0);
+        assert_eq!(breaker.state_name(), "closed", "streak was broken");
+    }
+
+    #[test]
+    fn resilience_snapshot_is_independent() {
+        let res = Resilience::new(
+            RetryPolicy::default(),
+            BreakerConfig::default(),
+            SharedClock::new(),
+        );
+        res.with_stats(|s| s.retries += 3);
+        let snap = res.stats();
+        assert_eq!(snap.retries, 3);
+        res.with_stats(|s| s.retries += 1);
+        assert_eq!(snap.retries, 3, "snapshot unaffected");
+        assert_eq!(res.stats().retries, 4);
+    }
+}

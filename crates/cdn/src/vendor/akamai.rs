@@ -10,8 +10,11 @@
 
 use rangeamp_http::range::ByteRangeSpec;
 
-use super::{coalesced_forward, deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions, VendorProfile};
-use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy};
+use super::{
+    coalesced_forward, deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions,
+    VendorProfile,
+};
+use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy, RetryPolicy, UpstreamError};
 
 /// Calibrated so a single-part 206 to the SBR probe is ≈ 608 wire bytes
 /// (Table IV: 26 214 650 / 43 093 ≈ 608 at 25 MB).
@@ -28,6 +31,7 @@ pub(super) fn profile() -> VendorProfile {
         cache_enabled: true,
         keeps_backend_alive_on_abort: false,
         mitigation: MitigationConfig::none(),
+        retry: RetryPolicy::new(3, 250, 2_000),
         extra_headers: vec![
             ("Server", "AkamaiGHost".to_string()),
             ("Mime-Version", "1.0".to_string()),
@@ -40,7 +44,7 @@ pub(super) fn profile() -> VendorProfile {
     }
 }
 
-pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> MissResult {
+pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> Result<MissResult, UpstreamError> {
     let Some(header) = ctx.range.clone() else {
         return laziness(ctx);
     };

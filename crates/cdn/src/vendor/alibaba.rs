@@ -11,8 +11,11 @@
 
 use rangeamp_http::range::ByteRangeSpec;
 
-use super::{coalesced_forward, deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions, VendorProfile};
-use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy};
+use super::{
+    coalesced_forward, deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions,
+    VendorProfile,
+};
+use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy, RetryPolicy, UpstreamError};
 
 /// Calibrated so a single-part 206 to the SBR probe is ≈ 996 wire bytes
 /// (Table IV: 1 048 826 / 1 056 ≈ 993 at 1 MB).
@@ -26,9 +29,13 @@ pub(super) fn profile() -> VendorProfile {
         cache_enabled: true,
         keeps_backend_alive_on_abort: false,
         mitigation: MitigationConfig::none(),
+        retry: RetryPolicy::new(2, 200, 1_000),
         extra_headers: vec![
             ("Server", "Tengine".to_string()),
-            ("Via", "cache13.l2et15-1[0,0,200-0,H], cache3.cn541[0,0]".to_string()),
+            (
+                "Via",
+                "cache13.l2et15-1[0,0,200-0,H], cache3.cn541[0,0]".to_string(),
+            ),
             ("Timing-Allow-Origin", "*".to_string()),
             ("EagleId", "2ff6155816005325084906273e".to_string()),
             pad_header(PAD),
@@ -37,7 +44,10 @@ pub(super) fn profile() -> VendorProfile {
     }
 }
 
-pub(super) fn handle_miss(profile: &VendorProfile, ctx: &mut MissCtx<'_>) -> MissResult {
+pub(super) fn handle_miss(
+    profile: &VendorProfile,
+    ctx: &mut MissCtx<'_>,
+) -> Result<MissResult, UpstreamError> {
     let Some(header) = ctx.range.clone() else {
         return laziness(ctx);
     };

@@ -13,8 +13,13 @@
 
 use rangeamp_http::range::RangeHeader;
 
-use super::{coalesced_forward, deletion, laziness, pad_header, MissCtx, MissReply, MissResult, Vendor, VendorOptions, VendorProfile};
-use crate::{assemble, HeaderLimits, MitigationConfig, MultiReplyPolicy};
+use super::{
+    coalesced_forward, deletion, laziness, pad_header, MissCtx, MissReply, MissResult, Vendor,
+    VendorOptions, VendorProfile,
+};
+use crate::{
+    assemble, HeaderLimits, MitigationConfig, MultiReplyPolicy, RetryPolicy, UpstreamError,
+};
 
 /// First window boundary: 8 MB.
 pub(crate) const WINDOW_START: u64 = 8 * 1024 * 1024;
@@ -36,17 +41,21 @@ pub(super) fn profile() -> VendorProfile {
         cache_enabled: true,
         keeps_backend_alive_on_abort: false,
         mitigation: MitigationConfig::none(),
+        retry: RetryPolicy::new(3, 500, 4_000),
         extra_headers: vec![
             ("Server", "ECAcc (sed/58B5)".to_string()),
             ("X-Cache-Status", "CONFIG_NOCACHE".to_string()),
-            ("X-Azure-Ref", "0pZGVXwAAAADZ2DVx9NVaTq2eyWNTbCREWVZSMzBFREdFMDYxOQBjYmUx".to_string()),
+            (
+                "X-Azure-Ref",
+                "0pZGVXwAAAADZ2DVx9NVaTq2eyWNTbCREWVZSMzBFREdFMDYxOQBjYmUx".to_string(),
+            ),
             pad_header(PAD),
         ],
         options: VendorOptions::default(),
     }
 }
 
-pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> MissResult {
+pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> Result<MissResult, UpstreamError> {
     let Some(header) = ctx.range.clone() else {
         return laziness(ctx);
     };
@@ -71,26 +80,30 @@ pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> MissResult {
     if requested.last < WINDOW_START {
         // F > 8 MB, range in the first window: Deletion fetch aborted a
         // little past 8 MB; the range is served from the received prefix.
-        let truncated = ctx.fetch_truncated(None, WINDOW_START);
+        let truncated = ctx.fetch_truncated(None, WINDOW_START)?;
+        if !truncated.status().is_success() || truncated.body().len() < requested.last + 1 {
+            // A shed (503) or otherwise short reply: nothing to slice.
+            return Ok(MissResult::new(MissReply::Passthrough(truncated), false));
+        }
         let meta = assemble::ReprMeta::of(&truncated);
         let slice = truncated.body().slice(requested.first, requested.last + 1);
         let resp = assemble::single_206(slice, requested, size, &meta);
-        return MissResult::new(MissReply::Direct(resp), false);
+        return Ok(MissResult::new(MissReply::Direct(resp), false));
     }
     if requested.first >= WINDOW_START && requested.last <= WINDOW_END {
         // Table I row 2 ("None & bytes=8388608-16777215"): the aborted
         // Deletion fetch, then a second connection with the fixed window.
-        let _aborted = ctx.fetch_truncated(None, WINDOW_START);
+        let _aborted = ctx.fetch_truncated(None, WINDOW_START)?;
         let window = RangeHeader::from_to(WINDOW_START, WINDOW_END.min(size - 1));
-        let second = ctx.fetch(Some(&window));
+        let second = ctx.fetch(Some(&window))?;
         if let Some(resp) = assemble::slice_single_from_partial(requested, &second) {
-            return MissResult::new(MissReply::Direct(resp), false);
+            return Ok(MissResult::new(MissReply::Direct(resp), false));
         }
-        return MissResult::new(MissReply::Passthrough(second), false);
+        return Ok(MissResult::new(MissReply::Passthrough(second), false));
     }
     // Ranges straddling the boundary or beyond 16 MB: forwarded as-is.
-    let resp = ctx.fetch(Some(&header));
-    MissResult::new(MissReply::Passthrough(resp), false)
+    let resp = ctx.fetch(Some(&header))?;
+    Ok(MissResult::new(MissReply::Passthrough(resp), false))
 }
 
 #[cfg(test)]

@@ -13,8 +13,10 @@
 
 use rangeamp_http::range::ByteRangeSpec;
 
-use super::{deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions, VendorProfile};
-use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy};
+use super::{
+    deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions, VendorProfile,
+};
+use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy, RetryPolicy, UpstreamError};
 
 /// First-byte threshold under which the Range header is deleted.
 const DELETE_BELOW: u64 = 1024;
@@ -34,6 +36,7 @@ pub(super) fn profile() -> VendorProfile {
         cache_enabled: true,
         keeps_backend_alive_on_abort: true,
         mitigation: MitigationConfig::none(),
+        retry: RetryPolicy::new(2, 100, 1_000),
         extra_headers: vec![
             ("Server", "CDN77-Turbo".to_string()),
             ("X-77-NZT", "AZ3BGR".to_string()),
@@ -44,7 +47,7 @@ pub(super) fn profile() -> VendorProfile {
     }
 }
 
-pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> MissResult {
+pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> Result<MissResult, UpstreamError> {
     let Some(header) = ctx.range.clone() else {
         return laziness(ctx);
     };

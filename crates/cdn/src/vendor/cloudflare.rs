@@ -10,8 +10,11 @@
 //! * §VII-A — Cloudflare declined to cache partial responses and insisted
 //!   the behaviour is within spec; no mitigation was deployed.
 
-use super::{coalesced_forward, deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions, VendorProfile};
-use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy};
+use super::{
+    coalesced_forward, deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions,
+    VendorProfile,
+};
+use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy, RetryPolicy, UpstreamError};
 
 /// Calibrated so a single-part 206 to the SBR probe is ≈ 820 wire bytes
 /// (Table IV: 26 214 650 / 31 836 ≈ 823 at 25 MB).
@@ -28,6 +31,7 @@ fn base_profile() -> VendorProfile {
         cache_enabled: true,
         keeps_backend_alive_on_abort: false,
         mitigation: MitigationConfig::none(),
+        retry: RetryPolicy::new(2, 250, 2_000),
         extra_headers: vec![
             ("Server", "cloudflare".to_string()),
             ("CF-Ray", "5cd2f9af2ecf04fe-FRA".to_string()),
@@ -52,7 +56,10 @@ pub(super) fn bypass_profile() -> VendorProfile {
     profile
 }
 
-pub(super) fn handle_miss(profile: &VendorProfile, ctx: &mut MissCtx<'_>) -> MissResult {
+pub(super) fn handle_miss(
+    profile: &VendorProfile,
+    ctx: &mut MissCtx<'_>,
+) -> Result<MissResult, UpstreamError> {
     if profile.options.cloudflare_bypass {
         // Bypass: nothing is cached, everything is relayed verbatim.
         return laziness(ctx);

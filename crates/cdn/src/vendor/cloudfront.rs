@@ -14,8 +14,12 @@
 use rangeamp_http::range::{ByteRangeSpec, RangeHeader};
 use rangeamp_http::StatusCode;
 
-use super::{laziness, pad_header, MissCtx, MissReply, MissResult, Vendor, VendorOptions, VendorProfile};
-use crate::{assemble, HeaderLimits, MitigationConfig, MultiReplyPolicy};
+use super::{
+    laziness, pad_header, MissCtx, MissReply, MissResult, Vendor, VendorOptions, VendorProfile,
+};
+use crate::{
+    assemble, HeaderLimits, MitigationConfig, MultiReplyPolicy, RetryPolicy, UpstreamError,
+};
 
 /// CloudFront's chunk size: 1 MB.
 const CHUNK_SHIFT: u32 = 20;
@@ -34,11 +38,18 @@ pub(super) fn profile() -> VendorProfile {
         cache_enabled: true,
         keeps_backend_alive_on_abort: false,
         mitigation: MitigationConfig::none(),
+        retry: RetryPolicy::new(3, 200, 2_000),
         extra_headers: vec![
             ("Server", "AmazonS3".to_string()),
             ("X-Amz-Cf-Pop", "FRA56-C1".to_string()),
-            ("X-Amz-Cf-Id", "yBsR9tTQjUYrJkT9Jh4mEXAMPLE7examPLEkt0vDfg==".to_string()),
-            ("Via", "1.1 abc0123456789def.cloudfront.net (CloudFront)".to_string()),
+            (
+                "X-Amz-Cf-Id",
+                "yBsR9tTQjUYrJkT9Jh4mEXAMPLE7examPLEkt0vDfg==".to_string(),
+            ),
+            (
+                "Via",
+                "1.1 abc0123456789def.cloudfront.net (CloudFront)".to_string(),
+            ),
             pad_header(PAD),
         ],
         options: VendorOptions::default(),
@@ -55,7 +66,7 @@ pub(crate) fn align_up(pos: u64) -> u64 {
     (((pos >> CHUNK_SHIFT) + 1) << CHUNK_SHIFT) - 1
 }
 
-pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> MissResult {
+pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> Result<MissResult, UpstreamError> {
     let Some(header) = ctx.range.clone() else {
         return laziness(ctx);
     };
@@ -69,15 +80,15 @@ pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> MissResult {
         ByteRangeSpec::From { first } => {
             // Open-ended: align the start down, keep the open end.
             let expanded = RangeHeader::from_first(align_down(first));
-            let resp = ctx.fetch(Some(&expanded));
-            serve_requested_from(ctx, &header, resp)
+            let resp = ctx.fetch(Some(&expanded))?;
+            Ok(serve_requested_from(ctx, &header, resp))
         }
         // Suffix ranges are not chunk-alignable: relayed verbatim.
         ByteRangeSpec::Suffix { .. } => laziness(ctx),
     }
 }
 
-fn handle_multi(ctx: &mut MissCtx<'_>, header: &RangeHeader) -> MissResult {
+fn handle_multi(ctx: &mut MissCtx<'_>, header: &RangeHeader) -> Result<MissResult, UpstreamError> {
     let all_from_to = header
         .specs()
         .iter()
@@ -110,10 +121,10 @@ fn expand_and_serve(
     requested: &RangeHeader,
     first: u64,
     last: u64,
-) -> MissResult {
+) -> Result<MissResult, UpstreamError> {
     let expanded = RangeHeader::from_to(first, last);
-    let resp = ctx.fetch(Some(&expanded));
-    serve_requested_from(ctx, requested, resp)
+    let resp = ctx.fetch(Some(&expanded))?;
+    Ok(serve_requested_from(ctx, requested, resp))
 }
 
 fn serve_requested_from(
@@ -169,7 +180,10 @@ mod tests {
         let run = run_vendor(Vendor::CloudFront, 25 * MB, "bytes=0-0");
         assert_eq!(run.forwarded, vec![Some("bytes=0-1048575".to_string())]);
         let origin = run.origin_response_bytes;
-        assert!(origin > MB && origin < MB + 4096, "1 MB chunk, got {origin}");
+        assert!(
+            origin > MB && origin < MB + 4096,
+            "1 MB chunk, got {origin}"
+        );
         assert_eq!(run.client_response.body().len(), 1);
     }
 

@@ -13,8 +13,11 @@
 
 use rangeamp_http::range::ByteRangeSpec;
 
-use super::{coalesced_forward, deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions, VendorProfile};
-use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy};
+use super::{
+    coalesced_forward, deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions,
+    VendorProfile,
+};
+use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy, RetryPolicy, UpstreamError};
 
 /// Calibrated so a single-part 206 to the SBR probe is ≈ 605 wire bytes
 /// (Table IV: 26 214 650 / 43 330 ≈ 605 at 25 MB).
@@ -28,6 +31,7 @@ pub(super) fn profile() -> VendorProfile {
         cache_enabled: true,
         keeps_backend_alive_on_abort: false,
         mitigation: MitigationConfig::none(),
+        retry: RetryPolicy::new(2, 300, 2_000),
         extra_headers: vec![
             ("Server", "nginx".to_string()),
             ("X-ID", "fr5-up-e2".to_string()),
@@ -37,7 +41,7 @@ pub(super) fn profile() -> VendorProfile {
     }
 }
 
-pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> MissResult {
+pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> Result<MissResult, UpstreamError> {
     let Some(header) = ctx.range.clone() else {
         return laziness(ctx);
     };
@@ -79,7 +83,11 @@ mod tests {
     #[test]
     fn lean_header_set() {
         // Fewer injected headers than Cloudflare → larger amplification.
-        let gcore: usize = profile().extra_headers.iter().map(|(n, v)| n.len() + v.len() + 4).sum();
+        let gcore: usize = profile()
+            .extra_headers
+            .iter()
+            .map(|(n, v)| n.len() + v.len() + 4)
+            .sum();
         let cloudflare: usize = Vendor::Cloudflare
             .profile()
             .extra_headers

@@ -11,8 +11,11 @@
 
 use rangeamp_http::range::ByteRangeSpec;
 
-use super::{coalesced_forward, deletion, laziness, pad_header, MissCtx, MissReply, MissResult, Vendor, VendorOptions, VendorProfile};
-use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy};
+use super::{
+    coalesced_forward, deletion, laziness, pad_header, MissCtx, MissReply, MissResult, Vendor,
+    VendorOptions, VendorProfile,
+};
+use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy, RetryPolicy, UpstreamError};
 
 /// Threshold between the suffix-deletion and the double-fetch regimes.
 pub(crate) const SIZE_THRESHOLD: u64 = 10 * 1024 * 1024;
@@ -33,6 +36,7 @@ pub(super) fn profile() -> VendorProfile {
         cache_enabled: true,
         keeps_backend_alive_on_abort: false,
         mitigation: MitigationConfig::none(),
+        retry: RetryPolicy::new(3, 250, 2_000),
         extra_headers: vec![
             ("Server", "CDN".to_string()),
             ("X-CCDN-CacheTTL", "3600".to_string()),
@@ -43,7 +47,10 @@ pub(super) fn profile() -> VendorProfile {
     }
 }
 
-pub(super) fn handle_miss(profile: &VendorProfile, ctx: &mut MissCtx<'_>) -> MissResult {
+pub(super) fn handle_miss(
+    profile: &VendorProfile,
+    ctx: &mut MissCtx<'_>,
+) -> Result<MissResult, UpstreamError> {
     let Some(header) = ctx.range.clone() else {
         return laziness(ctx);
     };
@@ -59,18 +66,17 @@ pub(super) fn handle_miss(profile: &VendorProfile, ctx: &mut MissCtx<'_>) -> Mis
     }
     let size = ctx.resource_size;
     match header.specs()[0] {
-        ByteRangeSpec::Suffix { .. } if size.is_none_or(|s| s < SIZE_THRESHOLD) => {
-            deletion(ctx)
-        }
+        ByteRangeSpec::Suffix { .. } if size.is_none_or(|s| s < SIZE_THRESHOLD) => deletion(ctx),
         ByteRangeSpec::FromTo { .. } if size.is_some_and(|s| s >= SIZE_THRESHOLD) => {
             // "None & None": a validation fetch followed by the real one.
-            let _first_fetch = ctx.fetch(None);
-            let full = ctx.fetch(None);
+            let _first_fetch = ctx.fetch(None)?;
+            let full = ctx.fetch(None)?;
             let mut result = MissResult::new(MissReply::ServeFromFull(full), true);
-            result
-                .extra_headers
-                .push(("X-HCS-Origin-Detail".to_string(), "f".repeat(DOUBLE_PATH_PAD)));
-            result
+            result.extra_headers.push((
+                "X-HCS-Origin-Detail".to_string(),
+                "f".repeat(DOUBLE_PATH_PAD),
+            ));
+            Ok(result)
         }
         _ => laziness(ctx),
     }

@@ -10,8 +10,11 @@
 
 use rangeamp_http::range::ByteRangeSpec;
 
-use super::{coalesced_forward, deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions, VendorProfile};
-use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy};
+use super::{
+    coalesced_forward, deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions,
+    VendorProfile,
+};
+use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy, RetryPolicy, UpstreamError};
 
 /// Calibrated so each of the two 206 responses is ≈ 739 wire bytes
 /// (Table IV: (2 × 26 214 650 + small) / 17 744 ≈ 2 × 739 at 25 MB).
@@ -25,6 +28,7 @@ pub(super) fn profile() -> VendorProfile {
         cache_enabled: true,
         keeps_backend_alive_on_abort: false,
         mitigation: MitigationConfig::none(),
+        retry: RetryPolicy::new(2, 200, 1_000),
         extra_headers: vec![
             ("Server", "keycdn-engine".to_string()),
             ("X-Edge-Location", "defr".to_string()),
@@ -35,7 +39,7 @@ pub(super) fn profile() -> VendorProfile {
     }
 }
 
-pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> MissResult {
+pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> Result<MissResult, UpstreamError> {
     let Some(header) = ctx.range.clone() else {
         return laziness(ctx);
     };
@@ -49,8 +53,8 @@ pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> MissResult {
                 deletion(ctx)
             } else {
                 // First request: Laziness, nothing cached.
-                let resp = ctx.fetch(ctx.range.as_ref());
-                MissResult::new(super::MissReply::Passthrough(resp), false)
+                let resp = ctx.fetch(ctx.range.as_ref())?;
+                Ok(MissResult::new(super::MissReply::Passthrough(resp), false))
             }
         }
         _ => laziness(ctx),

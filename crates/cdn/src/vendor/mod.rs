@@ -31,7 +31,10 @@ use rangeamp_http::range::RangeHeader;
 use rangeamp_http::{Request, Response, StatusCode};
 use rangeamp_net::Segment;
 
-use crate::{Cache, HeaderLimits, MitigationConfig, MultiReplyPolicy, UpstreamService};
+use crate::resilience::{Resilience, RetryPolicy};
+use crate::{
+    Cache, HeaderLimits, MitigationConfig, MultiReplyPolicy, UpstreamError, UpstreamService,
+};
 
 /// The 13 CDN vendors examined by the paper (§III-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -169,6 +172,12 @@ pub struct VendorProfile {
     pub keeps_backend_alive_on_abort: bool,
     /// Active CDN-side mitigations (none by default).
     pub mitigation: MitigationConfig,
+    /// Retry budget for failed back-to-origin fetches, in virtual-time
+    /// capped exponential backoff. Differentiated per vendor (Fastly
+    /// fails fast; CloudFront and Akamai retry hardest) — under a flaky
+    /// origin this multiplies the SBR amplification the paper measures,
+    /// which is what the `retry_amp` campaign quantifies.
+    pub retry: RetryPolicy,
     /// Headers this vendor injects into client-facing responses. Their
     /// total size is calibrated so client-side response traffic matches
     /// Table IV / Fig 6b (Akamai and G-Core insert fewer headers than
@@ -213,7 +222,10 @@ impl VendorProfile {
     /// headers (RFC 7230 §5.7.1) — also what the OBR max-n solver must
     /// budget for on the forwarded request.
     pub fn via_token(&self) -> String {
-        format!("{}-edge", self.vendor.name().to_lowercase().replace(' ', "-"))
+        format!(
+            "{}-edge",
+            self.vendor.name().to_lowercase().replace(' ', "-")
+        )
     }
 }
 
@@ -236,6 +248,8 @@ pub struct MissCtx<'a> {
     pub(crate) backend_truncate: Option<u64>,
     /// Identifier appended in the upstream `Via` header.
     pub(crate) via_token: &'a str,
+    /// The node's retry/breaker machinery, consulted on every fetch.
+    pub(crate) resilience: &'a Resilience,
 }
 
 impl fmt::Debug for MissCtx<'_> {
@@ -250,22 +264,25 @@ impl fmt::Debug for MissCtx<'_> {
 
 impl MissCtx<'_> {
     /// Performs a metered back-to-origin fetch with the `Range` header
-    /// replaced by `range` (`None` ⇒ *Deletion*).
+    /// replaced by `range` (`None` ⇒ *Deletion*), under the node's retry
+    /// policy and circuit breaker.
     ///
     /// If the client has aborted and the vendor does not keep back-end
     /// connections alive, the transfer is truncated (§IV-C: most CDNs
     /// "break the corresponding back-end connections when the front-end
     /// connections are abnormally cut off" — the Triukose et al. defense
     /// the paper discusses in §VIII).
-    pub fn fetch(&self, range: Option<&RangeHeader>) -> Response {
+    ///
+    /// # Errors
+    ///
+    /// Returns the last attempt's [`UpstreamError`] once the retry budget
+    /// is exhausted, or [`UpstreamError::CircuitOpen`] without any fetch
+    /// when the breaker refuses.
+    pub fn fetch(&self, range: Option<&RangeHeader>) -> Result<Response, UpstreamError> {
         if let Some(limit) = self.backend_truncate {
             return self.fetch_truncated(range, limit);
         }
-        let req = self.build_upstream_request(range);
-        self.segment.send_request(&req);
-        let resp = self.upstream.handle(&req);
-        self.segment.send_response(&resp);
-        resp
+        self.fetch_with_retry(range, None)
     }
 
     /// Like [`MissCtx::fetch`], but the edge aborts the connection once
@@ -274,20 +291,121 @@ impl MissCtx<'_> {
     /// ("actual response traffic ... a little larger than 8 MB").
     ///
     /// The returned response carries only the received body prefix.
-    pub fn fetch_truncated(&self, range: Option<&RangeHeader>, payload_limit: u64) -> Response {
+    ///
+    /// # Errors
+    ///
+    /// Same failure surface as [`MissCtx::fetch`].
+    pub fn fetch_truncated(
+        &self,
+        range: Option<&RangeHeader>,
+        payload_limit: u64,
+    ) -> Result<Response, UpstreamError> {
+        self.fetch_with_retry(range, Some(payload_limit))
+    }
+
+    /// The retry loop: attempts are paced by the profile's [`RetryPolicy`]
+    /// (backoff advances the node's virtual clock), gated by the circuit
+    /// breaker, and individually metered so the surplus bytes of retries
+    /// are attributable (the `retry_amp` accounting).
+    fn fetch_with_retry(
+        &self,
+        range: Option<&RangeHeader>,
+        payload_limit: Option<u64>,
+    ) -> Result<Response, UpstreamError> {
+        let resilience = self.resilience;
+        let policy = resilience.retry();
+        let mut attempt: u32 = 0;
+        loop {
+            if !resilience.allow_request() {
+                resilience.with_stats(|s| s.breaker_short_circuits += 1);
+                return Err(UpstreamError::CircuitOpen);
+            }
+            attempt += 1;
+            let before = self.segment.stats();
+            let outcome = self.fetch_once(range, payload_limit);
+            if attempt > 1 {
+                let after = self.segment.stats();
+                resilience.with_stats(|s| {
+                    s.retry_request_bytes += after.request_bytes - before.request_bytes;
+                    s.retry_response_bytes += after.response_bytes - before.response_bytes;
+                });
+            }
+            resilience.with_stats(|s| s.attempts += 1);
+            // An upstream 5xx is a failed exchange for resilience purposes
+            // even though bytes were exchanged successfully.
+            let failed = match &outcome {
+                Ok(resp) => resp.status().as_u16() >= 500,
+                Err(_) => true,
+            };
+            if !failed {
+                resilience.record_success();
+                return outcome;
+            }
+            resilience.record_failure();
+            resilience.with_stats(|s| s.upstream_failures += 1);
+            let retryable = match &outcome {
+                Ok(_) => true,
+                Err(err) => err.is_retryable(),
+            };
+            if !retryable || attempt >= policy.max_attempts {
+                return outcome;
+            }
+            resilience.with_stats(|s| s.retries += 1);
+            resilience
+                .clock()
+                .advance_millis(policy.backoff_ms(attempt - 1));
+        }
+    }
+
+    /// One metered exchange. Partial deliveries (reset, truncation) are
+    /// metered for the bytes that actually crossed the wire before the
+    /// error is surfaced.
+    fn fetch_once(
+        &self,
+        range: Option<&RangeHeader>,
+        payload_limit: Option<u64>,
+    ) -> Result<Response, UpstreamError> {
         const ABORT_OVERSHOOT: u64 = 64 * 1024;
         let req = self.build_upstream_request(range);
         self.segment.send_request(&req);
-        let mut resp = self.upstream.handle(&req);
-        let received_body = resp.body().len().min(payload_limit + ABORT_OVERSHOOT);
-        let header_bytes = resp.wire_len() - resp.body().len();
-        self.segment
-            .send_response_truncated(&resp, header_bytes + received_body);
-        if received_body < resp.body().len() {
-            let truncated = resp.body().slice(0, received_body);
-            resp.set_body(truncated);
+        let mut resp = match self.upstream.handle(&req) {
+            Ok(resp) => resp,
+            Err(err) => {
+                match &err {
+                    UpstreamError::Reset { partial, delivered }
+                    | UpstreamError::Truncated { partial, delivered } => {
+                        self.segment.send_response_truncated(partial, *delivered);
+                    }
+                    UpstreamError::Timeout
+                    | UpstreamError::Malformed { .. }
+                    | UpstreamError::CircuitOpen => {}
+                }
+                return Err(err);
+            }
+        };
+        if let Err(detail) = response_consistency(&resp) {
+            // The bytes arrived and are metered, but the edge must not
+            // assemble client data from a self-inconsistent response.
+            self.segment.send_response(&resp);
+            return Err(UpstreamError::Malformed { detail });
         }
-        resp
+        match payload_limit {
+            None => {
+                self.segment.send_response(&resp);
+                Ok(resp)
+            }
+            Some(limit) => {
+                let received_body = resp.body().len().min(limit + ABORT_OVERSHOOT);
+                let header_bytes = resp.wire_len() - resp.body().len();
+                self.segment
+                    .send_response_truncated(&resp, header_bytes + received_body);
+                if received_body < resp.body().len() {
+                    let truncated = resp.body().slice(0, received_body);
+                    resp.set_body(truncated);
+                }
+                Ok(resp)
+            }
+        }
     }
 
     /// Marks the cache key as previously requested, returning whether it
@@ -305,7 +423,8 @@ impl MissCtx<'_> {
         // RFC 7230 §5.7.1: proxies append themselves to Via. This is also
         // the loop-detection breadcrumb (forwarding-loop attacks, paper
         // §VIII / Chen et al.).
-        req.headers_mut().append("Via", format!("1.1 {}", self.via_token));
+        req.headers_mut()
+            .append("Via", format!("1.1 {}", self.via_token));
         req
     }
 }
@@ -349,8 +468,36 @@ pub enum MissReply {
     Reject(StatusCode),
 }
 
+/// A single-part 206's `Content-Range` window must agree with the body
+/// it frames; anything else is a malformed upstream response the edge
+/// refuses to assemble client data from (it answers 502 instead).
+fn response_consistency(resp: &Response) -> Result<(), String> {
+    use rangeamp_http::range::ContentRange;
+
+    let Some(value) = resp.headers().get("content-range") else {
+        return Ok(());
+    };
+    match ContentRange::parse(value) {
+        Ok(ContentRange::Satisfied { range, .. }) => {
+            let body = resp.body().len();
+            if range.len() != body {
+                return Err(format!(
+                    "Content-Range window of {} bytes frames a {body}-byte body",
+                    range.len()
+                ));
+            }
+            Ok(())
+        }
+        Ok(ContentRange::Unsatisfied { .. }) => Ok(()),
+        Err(_) => Err(format!("unparseable Content-Range: {value}")),
+    }
+}
+
 /// Dispatches a cache miss to the vendor's mechanistic handler.
-pub(crate) fn handle_miss(profile: &VendorProfile, ctx: &mut MissCtx<'_>) -> MissResult {
+pub(crate) fn handle_miss(
+    profile: &VendorProfile,
+    ctx: &mut MissCtx<'_>,
+) -> Result<MissResult, UpstreamError> {
     match profile.vendor {
         Vendor::Akamai => akamai::handle_miss(ctx),
         Vendor::AlibabaCloud => alibaba::handle_miss(profile, ctx),
@@ -369,16 +516,16 @@ pub(crate) fn handle_miss(profile: &VendorProfile, ctx: &mut MissCtx<'_>) -> Mis
 }
 
 /// Shared helper: the plain *Laziness* outcome.
-pub(crate) fn laziness(ctx: &MissCtx<'_>) -> MissResult {
-    let resp = ctx.fetch(ctx.range.as_ref());
+pub(crate) fn laziness(ctx: &MissCtx<'_>) -> Result<MissResult, UpstreamError> {
+    let resp = ctx.fetch(ctx.range.as_ref())?;
     let cacheable = ctx.range.is_none();
-    MissResult::new(MissReply::Passthrough(resp), cacheable)
+    Ok(MissResult::new(MissReply::Passthrough(resp), cacheable))
 }
 
 /// Shared helper: the plain *Deletion* outcome.
-pub(crate) fn deletion(ctx: &MissCtx<'_>) -> MissResult {
-    let resp = ctx.fetch(None);
-    MissResult::new(MissReply::ServeFromFull(resp), true)
+pub(crate) fn deletion(ctx: &MissCtx<'_>) -> Result<MissResult, UpstreamError> {
+    let resp = ctx.fetch(None)?;
+    Ok(MissResult::new(MissReply::ServeFromFull(resp), true))
 }
 
 /// Shared helper for multi-range requests on vendors that neither forward
@@ -386,7 +533,10 @@ pub(crate) fn deletion(ctx: &MissCtx<'_>) -> MissResult {
 /// forward the merged range, so back-to-origin traffic never exceeds the
 /// requested span. The client reply is assembled from the partial per the
 /// vendor's multi-range reply policy.
-pub(crate) fn coalesced_forward(profile: &VendorProfile, ctx: &MissCtx<'_>) -> MissResult {
+pub(crate) fn coalesced_forward(
+    profile: &VendorProfile,
+    ctx: &MissCtx<'_>,
+) -> Result<MissResult, UpstreamError> {
     use rangeamp_http::range::{coalesce, ByteRangeSpec};
 
     let header = ctx
@@ -397,11 +547,11 @@ pub(crate) fn coalesced_forward(profile: &VendorProfile, ctx: &MissCtx<'_>) -> M
         // No metadata: forward the first range only (conservative).
         let first = RangeHeader::new(vec![header.specs()[0]])
             .expect("first spec of a valid header is valid");
-        let resp = ctx.fetch(Some(&first));
-        return MissResult::new(MissReply::Passthrough(resp), false);
+        let resp = ctx.fetch(Some(&first))?;
+        return Ok(MissResult::new(MissReply::Passthrough(resp), false));
     };
     let merged = coalesce(&header.resolve(complete));
-    match merged.len() {
+    Ok(match merged.len() {
         0 => MissResult::new(
             MissReply::Direct(crate::assemble::not_satisfiable(complete)),
             false,
@@ -411,18 +561,18 @@ pub(crate) fn coalesced_forward(profile: &VendorProfile, ctx: &MissCtx<'_>) -> M
             let spec = if r.last + 1 == complete {
                 ByteRangeSpec::From { first: r.first }
             } else {
-                ByteRangeSpec::FromTo { first: r.first, last: r.last }
+                ByteRangeSpec::FromTo {
+                    first: r.first,
+                    last: r.last,
+                }
             };
             let forwarded = RangeHeader::new(vec![spec]).expect("merged spec is valid");
-            let resp = ctx.fetch(Some(&forwarded));
+            let resp = ctx.fetch(Some(&forwarded))?;
             match resp.status().as_u16() {
                 200 => MissResult::new(MissReply::ServeFromFull(resp), true),
                 206 => {
-                    match crate::assemble::serve_from_partial(header, &resp, profile.multi_reply)
-                    {
-                        Some(client_resp) => {
-                            MissResult::new(MissReply::Direct(client_resp), false)
-                        }
+                    match crate::assemble::serve_from_partial(header, &resp, profile.multi_reply) {
+                        Some(client_resp) => MissResult::new(MissReply::Direct(client_resp), false),
                         None => MissResult::new(MissReply::Passthrough(resp), false),
                     }
                 }
@@ -438,25 +588,31 @@ pub(crate) fn coalesced_forward(profile: &VendorProfile, ctx: &MissCtx<'_>) -> M
                     if r.last + 1 == complete {
                         ByteRangeSpec::From { first: r.first }
                     } else {
-                        ByteRangeSpec::FromTo { first: r.first, last: r.last }
+                        ByteRangeSpec::FromTo {
+                            first: r.first,
+                            last: r.last,
+                        }
                     }
                 })
                 .collect();
             let forwarded = RangeHeader::new(specs).expect("merged specs are valid");
-            let resp = ctx.fetch(Some(&forwarded));
+            let resp = ctx.fetch(Some(&forwarded))?;
             if resp.status().as_u16() == 200 {
                 MissResult::new(MissReply::ServeFromFull(resp), true)
             } else {
                 MissResult::new(MissReply::Passthrough(resp), false)
             }
         }
-    }
+    })
 }
 
 /// Shared helper: a pad header sized to calibrate a vendor's client-side
 /// response overhead against the paper's Fig 6b measurements.
 pub(crate) fn pad_header(len: usize) -> (&'static str, String) {
-    ("X-Edge-Trace", "0123456789abcdef".chars().cycle().take(len).collect())
+    (
+        "X-Edge-Trace",
+        "0123456789abcdef".chars().cycle().take(len).collect(),
+    )
 }
 
 #[cfg(test)]
@@ -574,8 +730,14 @@ mod tests {
 
     #[test]
     fn obr_eligibility_matches_tables_ii_and_iii() {
-        let fcdns: Vec<_> = Vendor::ALL.iter().filter(|v| v.is_fcdn_vulnerable()).collect();
-        let bcdns: Vec<_> = Vendor::ALL.iter().filter(|v| v.is_bcdn_vulnerable()).collect();
+        let fcdns: Vec<_> = Vendor::ALL
+            .iter()
+            .filter(|v| v.is_fcdn_vulnerable())
+            .collect();
+        let bcdns: Vec<_> = Vendor::ALL
+            .iter()
+            .filter(|v| v.is_bcdn_vulnerable())
+            .collect();
         assert_eq!(fcdns.len(), 4, "Table II lists 4 FCDNs");
         assert_eq!(bcdns.len(), 3, "Table III lists 3 BCDNs");
         // 4 × 3 minus the StackPath-with-itself case = 11 combos (Table V).

@@ -13,8 +13,10 @@
 
 use rangeamp_http::StatusCode;
 
-use super::{laziness, pad_header, MissCtx, MissReply, MissResult, Vendor, VendorOptions, VendorProfile};
-use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy};
+use super::{
+    laziness, pad_header, MissCtx, MissReply, MissResult, Vendor, VendorOptions, VendorProfile,
+};
+use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy, RetryPolicy, UpstreamError};
 
 /// Calibrated so a single-part 206 to the SBR probe is ≈ 807 wire bytes
 /// (Table IV: 26 215 000 / 32 491 ≈ 807 at 25 MB).
@@ -31,17 +33,21 @@ pub(super) fn profile() -> VendorProfile {
         cache_enabled: true,
         keeps_backend_alive_on_abort: false,
         mitigation: MitigationConfig::none(),
+        retry: RetryPolicy::new(2, 400, 2_000),
         extra_headers: vec![
             ("Server", "StackPath".to_string()),
             ("X-SP-Edge", "fr2".to_string()),
-            ("X-HW", "1577923200.dop041.fr2.t,1577923200.cds060.fr2.shn".to_string()),
+            (
+                "X-HW",
+                "1577923200.dop041.fr2.t,1577923200.cds060.fr2.shn".to_string(),
+            ),
             pad_header(PAD),
         ],
         options: VendorOptions::default(),
     }
 }
 
-pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> MissResult {
+pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> Result<MissResult, UpstreamError> {
     let Some(header) = ctx.range.clone() else {
         return laziness(ctx);
     };
@@ -49,24 +55,24 @@ pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> MissResult {
         // Table II: forwarded unchanged. If the origin ignores ranges and
         // ships a 200, StackPath serves the n-part overlapping reply
         // (Table III) from it.
-        let resp = ctx.fetch(Some(&header));
-        return if resp.status() == StatusCode::OK {
+        let resp = ctx.fetch(Some(&header))?;
+        return Ok(if resp.status() == StatusCode::OK {
             MissResult::new(MissReply::ServeFromFull(resp), true)
         } else {
             MissResult::new(MissReply::Passthrough(resp), false)
-        };
+        });
     }
     // Single range: Laziness first...
-    let first = ctx.fetch(Some(&header));
-    match first.status() {
+    let first = ctx.fetch(Some(&header))?;
+    Ok(match first.status() {
         StatusCode::PARTIAL_CONTENT => {
             // ...then the 206-triggered re-forward without Range.
-            let full = ctx.fetch(None);
+            let full = ctx.fetch(None)?;
             MissResult::new(MissReply::ServeFromFull(full), true)
         }
         StatusCode::OK => MissResult::new(MissReply::ServeFromFull(first), true),
         _ => MissResult::new(MissReply::Passthrough(first), false),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -106,7 +112,10 @@ mod tests {
         let run = run_vendor_ranges_disabled(Vendor::StackPath, 1024, "bytes=0-,0-,0-,0-");
         assert_eq!(run.client_response.status(), StatusCode::PARTIAL_CONTENT);
         assert!(run.client_response.body().len() > 4 * 1024);
-        assert_eq!(run.origin_request_count, 1, "one full fetch feeds all parts");
+        assert_eq!(
+            run.origin_request_count, 1,
+            "one full fetch feeds all parts"
+        );
     }
 
     #[test]

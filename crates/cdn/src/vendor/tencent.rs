@@ -10,8 +10,11 @@
 
 use rangeamp_http::range::ByteRangeSpec;
 
-use super::{coalesced_forward, deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions, VendorProfile};
-use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy};
+use super::{
+    coalesced_forward, deletion, laziness, pad_header, MissCtx, MissResult, Vendor, VendorOptions,
+    VendorProfile,
+};
+use crate::{HeaderLimits, MitigationConfig, MultiReplyPolicy, RetryPolicy, UpstreamError};
 
 /// Calibrated so a single-part 206 to the SBR probe is ≈ 805 wire bytes
 /// (Table IV: 26 214 650 / 32 438 ≈ 808 at 25 MB).
@@ -25,9 +28,13 @@ pub(super) fn profile() -> VendorProfile {
         cache_enabled: true,
         keeps_backend_alive_on_abort: false,
         mitigation: MitigationConfig::none(),
+        retry: RetryPolicy::new(3, 300, 3_000),
         extra_headers: vec![
             ("Server", "NWS_SPMid".to_string()),
-            ("X-NWS-LOG-UUID", "a1b2c3d4-5678-90ab-cdef-1234567890ab".to_string()),
+            (
+                "X-NWS-LOG-UUID",
+                "a1b2c3d4-5678-90ab-cdef-1234567890ab".to_string(),
+            ),
             ("X-Cache-Lookup", "Cache Miss".to_string()),
             ("X-Daa-Tunnel", "hop_count=1".to_string()),
             pad_header(PAD),
@@ -36,7 +43,10 @@ pub(super) fn profile() -> VendorProfile {
     }
 }
 
-pub(super) fn handle_miss(profile: &VendorProfile, ctx: &mut MissCtx<'_>) -> MissResult {
+pub(super) fn handle_miss(
+    profile: &VendorProfile,
+    ctx: &mut MissCtx<'_>,
+) -> Result<MissResult, UpstreamError> {
     let Some(header) = ctx.range.clone() else {
         return laziness(ctx);
     };

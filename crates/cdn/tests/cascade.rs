@@ -20,11 +20,7 @@ fn origin(size: u64, ranges_enabled: bool) -> Arc<OriginServer> {
     Arc::new(OriginServer::with_config(store, config))
 }
 
-fn cascade(
-    fcdn: Vendor,
-    bcdn: Vendor,
-    size: u64,
-) -> (EdgeNode, Arc<EdgeNode>, Segment, Segment) {
+fn cascade(fcdn: Vendor, bcdn: Vendor, size: u64) -> (EdgeNode, Arc<EdgeNode>, Segment, Segment) {
     let origin = origin(size, false);
     let bcdn_segment = Segment::new(SegmentName::BcdnOrigin);
     let bcdn_node = Arc::new(EdgeNode::new(bcdn.profile(), origin, bcdn_segment.clone()));

@@ -86,8 +86,7 @@ impl AmplificationMeasurement {
     /// Request-inclusive factor (total bytes both directions), reported
     /// alongside for completeness.
     pub fn total_traffic_factor(&self) -> f64 {
-        let attacker =
-            self.traffic.attacker_request_bytes + self.traffic.attacker_response_bytes;
+        let attacker = self.traffic.attacker_request_bytes + self.traffic.attacker_response_bytes;
         let victim = self.traffic.victim_request_bytes + self.traffic.victim_response_bytes;
         if attacker == 0 {
             return 0.0;

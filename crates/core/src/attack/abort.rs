@@ -139,7 +139,12 @@ mod tests {
     #[test]
     fn most_vendors_defeat_dropped_get() {
         // §VIII: "most CDNs can mitigate it".
-        for vendor in [Vendor::Akamai, Vendor::Cloudflare, Vendor::Fastly, Vendor::StackPath] {
+        for vendor in [
+            Vendor::Akamai,
+            Vendor::Cloudflare,
+            Vendor::Fastly,
+            Vendor::StackPath,
+        ] {
             let m = DroppedGetAttack::new(vendor, 10 * MB).run();
             assert!(!m.keeps_backend_alive, "{vendor}");
             assert!(

@@ -153,7 +153,10 @@ mod tests {
     fn high_m_saturates_the_uplink() {
         let report = FloodExperiment::paper_config(14).run();
         let steady = report.steady_origin_mbps();
-        assert!(steady > 990.0, "m=14 should exhaust 1000 Mbps, got {steady}");
+        assert!(
+            steady > 990.0,
+            "m=14 should exhaust 1000 Mbps, got {steady}"
+        );
     }
 
     #[test]

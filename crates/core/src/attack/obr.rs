@@ -18,10 +18,17 @@ use crate::testbed::{CascadeTestbed, TARGET_HOST, TARGET_PATH};
 /// The 11 cascaded combinations of Table V (4 FCDNs × 3 BCDNs minus the
 /// StackPath self-cascade).
 pub fn obr_combos() -> Vec<(Vendor, Vendor)> {
-    let fcdns = Vendor::ALL.iter().copied().filter(Vendor::is_fcdn_vulnerable);
+    let fcdns = Vendor::ALL
+        .iter()
+        .copied()
+        .filter(Vendor::is_fcdn_vulnerable);
     let mut combos = Vec::new();
     for fcdn in fcdns {
-        for bcdn in Vendor::ALL.iter().copied().filter(Vendor::is_bcdn_vulnerable) {
+        for bcdn in Vendor::ALL
+            .iter()
+            .copied()
+            .filter(Vendor::is_bcdn_vulnerable)
+        {
             if fcdn == bcdn {
                 continue; // the paper leaves StackPath→StackPath blank
             }
@@ -131,10 +138,7 @@ impl ObrAttack {
     }
 
     /// Applies a mitigation at the BCDN (for the §VI-C ablations).
-    pub fn with_bcdn_mitigation(
-        mut self,
-        mitigation: rangeamp_cdn::MitigationConfig,
-    ) -> ObrAttack {
+    pub fn with_bcdn_mitigation(mut self, mitigation: rangeamp_cdn::MitigationConfig) -> ObrAttack {
         self.bcdn_mitigation = Some(mitigation);
         self
     }
@@ -230,7 +234,12 @@ mod tests {
 
     #[test]
     fn azure_bcdn_caps_n_at_64() {
-        for fcdn in [Vendor::Cdn77, Vendor::CdnSun, Vendor::Cloudflare, Vendor::StackPath] {
+        for fcdn in [
+            Vendor::Cdn77,
+            Vendor::CdnSun,
+            Vendor::Cloudflare,
+            Vendor::StackPath,
+        ] {
             assert_eq!(ObrAttack::new(fcdn, Vendor::Azure).max_n(), 64, "{fcdn}");
         }
     }

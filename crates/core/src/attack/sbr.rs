@@ -164,9 +164,18 @@ mod tests {
 
     #[test]
     fn case_selection_matches_table_iv() {
-        assert_eq!(exploited_range_case(Vendor::Akamai, MB).description, "bytes=0-0");
-        assert_eq!(exploited_range_case(Vendor::AlibabaCloud, MB).description, "bytes=-1");
-        assert_eq!(exploited_range_case(Vendor::Azure, MB).description, "bytes=0-0");
+        assert_eq!(
+            exploited_range_case(Vendor::Akamai, MB).description,
+            "bytes=0-0"
+        );
+        assert_eq!(
+            exploited_range_case(Vendor::AlibabaCloud, MB).description,
+            "bytes=-1"
+        );
+        assert_eq!(
+            exploited_range_case(Vendor::Azure, MB).description,
+            "bytes=0-0"
+        );
         assert_eq!(
             exploited_range_case(Vendor::Azure, 9 * MB).description,
             "bytes=8388608-8388608"
@@ -175,7 +184,10 @@ mod tests {
             exploited_range_case(Vendor::CloudFront, 25 * MB).description,
             "bytes=0-0,9437184-9437184"
         );
-        assert_eq!(exploited_range_case(Vendor::HuaweiCloud, MB).description, "bytes=-1");
+        assert_eq!(
+            exploited_range_case(Vendor::HuaweiCloud, MB).description,
+            "bytes=-1"
+        );
         assert_eq!(
             exploited_range_case(Vendor::HuaweiCloud, 10 * MB).description,
             "bytes=0-0"
@@ -192,13 +204,20 @@ mod tests {
         let report = SbrAttack::new(Vendor::Akamai, MB).run();
         let factor = report.amplification_factor();
         assert!(factor > 1000.0, "got {factor}");
-        assert!(report.traffic.attacker_response_bytes < 1500, "paper Fig 6b bound");
+        assert!(
+            report.traffic.attacker_response_bytes < 1500,
+            "paper Fig 6b bound"
+        );
     }
 
     #[test]
     fn amplification_grows_with_file_size() {
-        let small = SbrAttack::new(Vendor::Fastly, MB).run().amplification_factor();
-        let large = SbrAttack::new(Vendor::Fastly, 5 * MB).run().amplification_factor();
+        let small = SbrAttack::new(Vendor::Fastly, MB)
+            .run()
+            .amplification_factor();
+        let large = SbrAttack::new(Vendor::Fastly, 5 * MB)
+            .run()
+            .amplification_factor();
         assert!(large > 4.0 * small, "proportionality: {small} → {large}");
     }
 
@@ -218,6 +237,9 @@ mod tests {
             .build();
         let first = attack.run_on(&bed, 1).amplification_factor();
         let second = attack.run_on(&bed, 2).amplification_factor();
-        assert!(first > 1000.0 && second > 1000.0, "cache busting keeps it hot");
+        assert!(
+            first > 1000.0 && second > 1000.0,
+            "cache busting keeps it hot"
+        );
     }
 }

@@ -91,8 +91,7 @@ fn parse_vendor(raw: &str) -> Result<Vendor, String> {
 }
 
 fn parse_number<T: std::str::FromStr>(raw: &str, what: &str) -> Result<T, String> {
-    raw.parse()
-        .map_err(|_| format!("invalid {what}: {raw:?}"))
+    raw.parse().map_err(|_| format!("invalid {what}: {raw:?}"))
 }
 
 fn cmd_sbr(args: &[String]) -> Result<(), String> {
@@ -161,7 +160,11 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
         &["CDN", "Vulnerable Range Format", "Forwarded Range Format"],
     );
     for row in rows {
-        table.row(vec![row.vendor, row.vulnerable_format, row.forwarded_format]);
+        table.row(vec![
+            row.vendor,
+            row.vulnerable_format,
+            row.forwarded_format,
+        ]);
     }
     println!("{table}");
     Ok(())
@@ -192,8 +195,14 @@ fn cmd_drop(args: &[String]) -> Result<(), String> {
     };
     let report = DroppedGetAttack::new(vendor, size_mb * MB).run();
     println!("dropped-GET against {vendor} ({size_mb} MB resource)");
-    println!("keeps backend alive on abort: {}", report.keeps_backend_alive);
-    println!("origin sent {} B for {} attacker bytes", report.origin_bytes, report.attacker_bytes);
+    println!(
+        "keeps backend alive on abort: {}",
+        report.keeps_backend_alive
+    );
+    println!(
+        "origin sent {} B for {} attacker bytes",
+        report.origin_bytes, report.attacker_bytes
+    );
     println!(
         "defense effective: {}",
         report.defense_effective(size_mb * MB)
@@ -204,8 +213,16 @@ fn cmd_drop(args: &[String]) -> Result<(), String> {
 fn cmd_list() -> Result<(), String> {
     println!("emulated CDN vendor profiles:");
     for vendor in Vendor::ALL {
-        let fcdn = if vendor.is_fcdn_vulnerable() { " [OBR-FCDN]" } else { "" };
-        let bcdn = if vendor.is_bcdn_vulnerable() { " [OBR-BCDN]" } else { "" };
+        let fcdn = if vendor.is_fcdn_vulnerable() {
+            " [OBR-FCDN]"
+        } else {
+            ""
+        };
+        let bcdn = if vendor.is_bcdn_vulnerable() {
+            " [OBR-BCDN]"
+        } else {
+            ""
+        };
         println!("  {}{fcdn}{bcdn}", vendor.name());
     }
     Ok(())

@@ -41,6 +41,7 @@
 
 pub mod amplification;
 pub mod attack;
+pub mod chaos;
 pub mod mitigation;
 pub mod report;
 pub mod scanner;

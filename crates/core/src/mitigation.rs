@@ -104,7 +104,11 @@ pub fn evaluate_sbr_defenses(vendor: Vendor, resource_size: u64) -> Vec<DefenseO
             DefenseOutcome {
                 defense,
                 amplification_factor: factor,
-                residual_fraction: if baseline > 0.0 { factor / baseline } else { 0.0 },
+                residual_fraction: if baseline > 0.0 {
+                    factor / baseline
+                } else {
+                    0.0
+                },
             }
         })
         .collect()
@@ -125,20 +129,28 @@ pub fn evaluate_obr_defenses(fcdn: Vendor, bcdn: Vendor, n: usize) -> Vec<Defens
         obr.run().amplification_factor()
     };
     let baseline = attack(None);
-    [Defense::None, Defense::CoalesceMulti, Defense::RejectOverlapping]
-        .iter()
-        .map(|&defense| {
-            let factor = match defense {
-                Defense::None => baseline,
-                other => attack(Some(other.config())),
-            };
-            DefenseOutcome {
-                defense,
-                amplification_factor: factor,
-                residual_fraction: if baseline > 0.0 { factor / baseline } else { 0.0 },
-            }
-        })
-        .collect()
+    [
+        Defense::None,
+        Defense::CoalesceMulti,
+        Defense::RejectOverlapping,
+    ]
+    .iter()
+    .map(|&defense| {
+        let factor = match defense {
+            Defense::None => baseline,
+            other => attack(Some(other.config())),
+        };
+        DefenseOutcome {
+            defense,
+            amplification_factor: factor,
+            residual_fraction: if baseline > 0.0 {
+                factor / baseline
+            } else {
+                0.0
+            },
+        }
+    })
+    .collect()
 }
 
 /// Evaluates the server-side "local DoS defense" (§VI-C): a per-peer

@@ -313,14 +313,16 @@ impl Scanner {
                 ));
             }
             for &(range, size) in extras {
-                outcomes.push((range.to_string(), size, self.classify(vendor, size, range, family)));
+                outcomes.push((
+                    range.to_string(),
+                    size,
+                    self.classify(vendor, size, range, family),
+                ));
             }
 
             // One row per distinct vulnerable description.
-            let mut descs: Vec<String> = outcomes
-                .iter()
-                .filter_map(|(_, _, d)| d.clone())
-                .collect();
+            let mut descs: Vec<String> =
+                outcomes.iter().filter_map(|(_, _, d)| d.clone()).collect();
             descs.dedup();
             descs = {
                 let mut unique = Vec::new();
@@ -344,51 +346,52 @@ impl Scanner {
                     .filter(|(r, _, _)| r == canonical)
                     .map(|(_, s, _)| *s)
                     .collect();
-                let size_qualifier = if canon_members.is_empty()
-                    || canon_members.len() == canonical_sizes.len()
-                {
-                    String::new()
-                } else {
-                    let max_member = *canon_members.iter().max().expect("non-empty");
-                    let min_member = *canon_members.iter().min().expect("non-empty");
-                    let above = canonical_sizes.iter().copied().find(|s| *s > max_member);
-                    let below = canonical_sizes
-                        .iter()
-                        .copied()
-                        .filter(|s| *s < min_member)
-                        .max();
-                    match (below, above) {
-                        (None, Some(hi)) => {
-                            let boundary =
-                                self.bisect_size(vendor, canonical, family, &desc, max_member, hi);
-                            format!(" (F < {}MB)", boundary / MB)
-                        }
-                        (Some(lo), None) => {
-                            // Member region is the high side: bisect where
-                            // membership *begins*.
-                            let mut lo = lo;
-                            let mut hi = min_member;
-                            while hi - lo > MB {
-                                let mid = (lo / MB + hi / MB) / 2 * MB;
-                                if self.classify(vendor, mid, canonical, family).as_deref()
-                                    == Some(desc.as_str())
-                                {
-                                    hi = mid;
-                                } else {
-                                    lo = mid;
-                                }
+                let size_qualifier =
+                    if canon_members.is_empty() || canon_members.len() == canonical_sizes.len() {
+                        String::new()
+                    } else {
+                        let max_member = *canon_members.iter().max().expect("non-empty");
+                        let min_member = *canon_members.iter().min().expect("non-empty");
+                        let above = canonical_sizes.iter().copied().find(|s| *s > max_member);
+                        let below = canonical_sizes
+                            .iter()
+                            .copied()
+                            .filter(|s| *s < min_member)
+                            .max();
+                        match (below, above) {
+                            (None, Some(hi)) => {
+                                let boundary = self
+                                    .bisect_size(vendor, canonical, family, &desc, max_member, hi);
+                                format!(" (F < {}MB)", boundary / MB)
                             }
-                            format!(" (F ≥ {}MB)", hi / MB)
+                            (Some(lo), None) => {
+                                // Member region is the high side: bisect where
+                                // membership *begins*.
+                                let mut lo = lo;
+                                let mut hi = min_member;
+                                while hi - lo > MB {
+                                    let mid = (lo / MB + hi / MB) / 2 * MB;
+                                    if self.classify(vendor, mid, canonical, family).as_deref()
+                                        == Some(desc.as_str())
+                                    {
+                                        hi = mid;
+                                    } else {
+                                        lo = mid;
+                                    }
+                                }
+                                format!(" (F ≥ {}MB)", hi / MB)
+                            }
+                            _ => String::new(),
                         }
-                        _ => String::new(),
-                    }
-                };
+                    };
 
                 // First-byte qualifier: canonical (first = 0) is a member
                 // but the first=1500 probe at the same size is not.
                 let first_qualifier = if family == "bytes=first-last"
                     && canon_members.contains(&MB)
-                    && !members.iter().any(|(r, s, _)| r == "bytes=1500-1500" && *s == MB)
+                    && !members
+                        .iter()
+                        .any(|(r, s, _)| r == "bytes=1500-1500" && *s == MB)
                 {
                     let boundary = self.bisect_first(vendor, MB, family, &desc);
                     if boundary == 1 {
@@ -409,11 +412,7 @@ impl Scanner {
                     .all(|(r, _, _)| r != canonical)
                     .then(|| members.first().map(|(r, _, _)| r.clone()))
                     .flatten()
-                    .filter(|_| {
-                        members
-                            .windows(2)
-                            .all(|w| w[0].0 == w[1].0)
-                    });
+                    .filter(|_| members.windows(2).all(|w| w[0].0 == w[1].0));
                 let format = match (all_same_extra, first_qualifier) {
                     (Some(concrete), _) => format!("{concrete}{size_qualifier}"),
                     (None, None) => format!("bytes=0-last{size_qualifier}"),
@@ -521,8 +520,7 @@ impl Scanner {
             .header("Range", range)
             .build();
         let resp = bed.request(&req);
-        resp.status() == StatusCode::PARTIAL_CONTENT
-            && resp.body().len() >= (n as u64) * size
+        resp.status() == StatusCode::PARTIAL_CONTENT && resp.body().len() >= (n as u64) * size
     }
 
     /// Fuzzes a vendor with ABNF-generated valid range requests (the
@@ -614,7 +612,11 @@ mod tests {
         let mut vendors: Vec<&str> = rows.iter().map(|r| r.vendor.as_str()).collect();
         vendors.sort_unstable();
         vendors.dedup();
-        assert_eq!(vendors.len(), 13, "paper: all 13 CDNs SBR-vulnerable\n{rows:#?}");
+        assert_eq!(
+            vendors.len(),
+            13,
+            "paper: all 13 CDNs SBR-vulnerable\n{rows:#?}"
+        );
     }
 
     #[test]
@@ -684,8 +686,14 @@ mod tests {
     fn fuzz_probes_are_all_valid_and_classified() {
         let scanner = Scanner::new(42);
         for obs in scanner.fuzz_vendor(Vendor::Fastly, 20) {
-            assert!(obs.client_status == 206 || obs.client_status == 200, "{obs:?}");
-            assert!(obs.policy().is_some(), "every probe reaches the origin: {obs:?}");
+            assert!(
+                obs.client_status == 206 || obs.client_status == 200,
+                "{obs:?}"
+            );
+            assert!(
+                obs.policy().is_some(),
+                "every probe reaches the origin: {obs:?}"
+            );
         }
     }
 

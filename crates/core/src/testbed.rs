@@ -2,9 +2,12 @@
 
 use std::sync::Arc;
 
-use rangeamp_cdn::{EdgeNode, Vendor, VendorProfile};
+use rangeamp_cdn::{
+    BreakerConfig, Cache, ClockedOrigin, EdgeNode, FaultyUpstream, Resilience, UpstreamService,
+    Vendor, VendorProfile,
+};
 use rangeamp_http::{Request, Response};
-use rangeamp_net::{Segment, SegmentName};
+use rangeamp_net::{FaultPlan, Segment, SegmentName, SharedClock};
 use rangeamp_origin::{OriginConfig, OriginServer, ResourceStore};
 
 /// Default target path used by the attack builders.
@@ -99,15 +102,25 @@ pub struct TestbedBuilder {
     resources: Vec<(String, u64, &'static str)>,
     origin_config: OriginConfig,
     prebuilt_store: Option<ResourceStore>,
+    fault_plan: Option<Arc<FaultPlan>>,
+    breaker: Option<BreakerConfig>,
+    cache_ttl_ms: Option<u64>,
 }
 
 impl Default for TestbedBuilder {
     fn default() -> TestbedBuilder {
         TestbedBuilder {
             profile: Vendor::Akamai.profile(),
-            resources: vec![(TARGET_PATH.to_string(), 1024 * 1024, "application/octet-stream")],
+            resources: vec![(
+                TARGET_PATH.to_string(),
+                1024 * 1024,
+                "application/octet-stream",
+            )],
             origin_config: OriginConfig::apache_default(),
             prebuilt_store: None,
+            fault_plan: None,
+            breaker: None,
+            cache_ttl_ms: None,
         }
     }
 }
@@ -133,7 +146,8 @@ impl TestbedBuilder {
 
     /// Adds a synthetic resource.
     pub fn add_resource(mut self, path: &str, size: u64) -> TestbedBuilder {
-        self.resources.push((path.to_string(), size, "application/octet-stream"));
+        self.resources
+            .push((path.to_string(), size, "application/octet-stream"));
         self
     }
 
@@ -147,6 +161,29 @@ impl TestbedBuilder {
     /// testbeds — resource bodies are reference-counted).
     pub fn store(mut self, store: ResourceStore) -> TestbedBuilder {
         self.prebuilt_store = Some(store);
+        self
+    }
+
+    /// Injects faults on the CDN → origin path according to `plan`
+    /// (chaos experiments). The edge is wired onto a shared virtual
+    /// clock so retries, breaker windows and origin load-shedding line
+    /// up deterministically.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> TestbedBuilder {
+        self.fault_plan = Some(Arc::new(plan));
+        self
+    }
+
+    /// Overrides the edge's circuit-breaker configuration.
+    pub fn breaker(mut self, config: BreakerConfig) -> TestbedBuilder {
+        self.breaker = Some(config);
+        self
+    }
+
+    /// Gives the edge cache a freshness TTL (virtual ms), enabling
+    /// serve-stale: expired entries are served with `Warning: 110` when
+    /// the upstream fails.
+    pub fn cache_ttl_ms(mut self, ttl_ms: u64) -> TestbedBuilder {
+        self.cache_ttl_ms = Some(ttl_ms);
         self
     }
 
@@ -164,7 +201,27 @@ impl TestbedBuilder {
         };
         let origin = Arc::new(OriginServer::with_config(store, self.origin_config));
         let origin_segment = Segment::new(SegmentName::CdnOrigin);
-        let edge = EdgeNode::new(self.profile, origin.clone(), origin_segment);
+        let chaos_wired =
+            self.fault_plan.is_some() || self.breaker.is_some() || self.cache_ttl_ms.is_some();
+        let edge = if chaos_wired {
+            let clock = SharedClock::new();
+            let clocked: Arc<dyn UpstreamService> =
+                Arc::new(ClockedOrigin::new(origin.clone(), clock.clone()));
+            let upstream: Arc<dyn UpstreamService> = match &self.fault_plan {
+                Some(plan) => Arc::new(FaultyUpstream::new(clocked, plan.clone())),
+                None => clocked,
+            };
+            let resilience =
+                Resilience::new(self.profile.retry, self.breaker.unwrap_or_default(), clock);
+            let mut edge =
+                EdgeNode::new(self.profile, upstream, origin_segment).with_resilience(resilience);
+            if let Some(ttl) = self.cache_ttl_ms {
+                edge = edge.with_cache(Cache::new().with_ttl(ttl));
+            }
+            edge
+        } else {
+            EdgeNode::new(self.profile, origin.clone(), origin_segment)
+        };
         Testbed {
             client_segment: Segment::new(SegmentName::ClientCdn),
             edge,
@@ -215,6 +272,45 @@ impl CascadeTestbed {
         let bcdn_node = Arc::new(EdgeNode::new(bcdn_profile, origin.clone(), bcdn_segment));
         let fcdn_segment = Segment::new(SegmentName::FcdnBcdn);
         let fcdn_node = EdgeNode::new(fcdn_profile, bcdn_node.clone(), fcdn_segment);
+        CascadeTestbed {
+            client_segment: Segment::new(SegmentName::ClientFcdn),
+            fcdn: fcdn_node,
+            bcdn: bcdn_node,
+            origin,
+        }
+    }
+
+    /// Cascade with fault injection on the `bcdn-origin` path. Both
+    /// edges run their vendor retry policies and circuit breakers on one
+    /// shared virtual clock, so an FCDN retrying into a broken BCDN is
+    /// observable end to end (retry amplification across the cascade).
+    pub fn with_chaos(
+        fcdn_profile: VendorProfile,
+        bcdn_profile: VendorProfile,
+        size: u64,
+        plan: FaultPlan,
+        breaker: BreakerConfig,
+    ) -> CascadeTestbed {
+        let mut store = ResourceStore::new();
+        store.add_synthetic(TARGET_PATH, size, "application/octet-stream");
+        let origin = Arc::new(OriginServer::with_config(
+            store,
+            OriginConfig::ranges_disabled(),
+        ));
+        let clock = SharedClock::new();
+        let clocked: Arc<dyn UpstreamService> =
+            Arc::new(ClockedOrigin::new(origin.clone(), clock.clone()));
+        let faulty: Arc<dyn UpstreamService> =
+            Arc::new(FaultyUpstream::new(clocked, Arc::new(plan)));
+        let bcdn_segment = Segment::new(SegmentName::BcdnOrigin);
+        let bcdn_resilience = Resilience::new(bcdn_profile.retry, breaker, clock.clone());
+        let bcdn_node = Arc::new(
+            EdgeNode::new(bcdn_profile, faulty, bcdn_segment).with_resilience(bcdn_resilience),
+        );
+        let fcdn_segment = Segment::new(SegmentName::FcdnBcdn);
+        let fcdn_resilience = Resilience::new(fcdn_profile.retry, breaker, clock);
+        let fcdn_node = EdgeNode::new(fcdn_profile, bcdn_node.clone(), fcdn_segment)
+            .with_resilience(fcdn_resilience);
         CascadeTestbed {
             client_segment: Segment::new(SegmentName::ClientFcdn),
             fcdn: fcdn_node,
@@ -306,7 +402,9 @@ mod tests {
     #[test]
     fn reset_traffic_zeroes_counters() {
         let bed = Testbed::builder().build();
-        let req = Request::get(TARGET_PATH).header("Host", TARGET_HOST).build();
+        let req = Request::get(TARGET_PATH)
+            .header("Host", TARGET_HOST)
+            .build();
         bed.request(&req);
         bed.reset_traffic();
         assert_eq!(bed.client_segment().stats().requests, 0);

@@ -39,9 +39,13 @@ impl IfRange {
             return Err(Error::InvalidHeaderValue("empty If-Range".to_string()));
         }
         if value.starts_with('"') || value.starts_with("W/\"") {
-            Ok(IfRange::ETag { tag: value.to_string() })
+            Ok(IfRange::ETag {
+                tag: value.to_string(),
+            })
         } else {
-            Ok(IfRange::Date { date: value.to_string() })
+            Ok(IfRange::Date {
+                date: value.to_string(),
+            })
         }
     }
 
@@ -79,15 +83,21 @@ mod tests {
     fn parses_etag_and_date_forms() {
         assert_eq!(
             IfRange::parse("\"abc\"").unwrap(),
-            IfRange::ETag { tag: "\"abc\"".to_string() }
+            IfRange::ETag {
+                tag: "\"abc\"".to_string()
+            }
         );
         assert_eq!(
             IfRange::parse("W/\"abc\"").unwrap(),
-            IfRange::ETag { tag: "W/\"abc\"".to_string() }
+            IfRange::ETag {
+                tag: "W/\"abc\"".to_string()
+            }
         );
         assert_eq!(
             IfRange::parse("Thu, 02 Jan 2020 00:00:00 GMT").unwrap(),
-            IfRange::Date { date: "Thu, 02 Jan 2020 00:00:00 GMT".to_string() }
+            IfRange::Date {
+                date: "Thu, 02 Jan 2020 00:00:00 GMT".to_string()
+            }
         );
         assert!(IfRange::parse("  ").is_err());
     }

@@ -86,7 +86,9 @@ mod tests {
 
     #[test]
     fn unsatisfiable_reports_length() {
-        let err = Error::Unsatisfiable { complete_length: 1000 };
+        let err = Error::Unsatisfiable {
+            complete_length: 1000,
+        };
         assert!(err.to_string().contains("1000"));
     }
 }

@@ -76,10 +76,23 @@ impl FromStr for Method {
 
 /// RFC 7230 `tchar`.
 pub(crate) fn is_tchar(b: u8) -> bool {
-    matches!(b,
-        b'!' | b'#' | b'$' | b'%' | b'&' | b'\'' | b'*' | b'+' | b'-' | b'.' |
-        b'^' | b'_' | b'`' | b'|' | b'~')
-        || b.is_ascii_alphanumeric()
+    matches!(
+        b,
+        b'!' | b'#'
+            | b'$'
+            | b'%'
+            | b'&'
+            | b'\''
+            | b'*'
+            | b'+'
+            | b'-'
+            | b'.'
+            | b'^'
+            | b'_'
+            | b'`'
+            | b'|'
+            | b'~'
+    ) || b.is_ascii_alphanumeric()
 }
 
 #[cfg(test)]

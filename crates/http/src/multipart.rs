@@ -153,8 +153,7 @@ pub fn parse(body: &[u8], boundary: &str) -> Result<Vec<Part>> {
             if line.is_empty() {
                 continue;
             }
-            let line = std::str::from_utf8(line)
-                .map_err(|_| text_err("non-utf8 part header"))?;
+            let line = std::str::from_utf8(line).map_err(|_| text_err("non-utf8 part header"))?;
             let (name, value) = line
                 .split_once(':')
                 .ok_or_else(|| text_err("malformed part header"))?;
@@ -166,8 +165,7 @@ pub fn parse(body: &[u8], boundary: &str) -> Result<Vec<Part>> {
             }
         }
         let content_type = content_type.ok_or_else(|| text_err("part missing Content-Type"))?;
-        let content_range =
-            content_range.ok_or_else(|| text_err("part missing Content-Range"))?;
+        let content_range = content_range.ok_or_else(|| text_err("part missing Content-Range"))?;
         let part_len = match content_range {
             ContentRange::Satisfied { range, .. } => range.len(),
             ContentRange::Unsatisfied { .. } => {
@@ -235,7 +233,10 @@ mod tests {
         assert_eq!(parts[0].body.as_bytes(), &[b'a'; 10]);
         assert_eq!(
             parts[1].content_range,
-            ContentRange::Satisfied { range: r(90, 99), complete_length: 100 }
+            ContentRange::Satisfied {
+                range: r(90, 99),
+                complete_length: 100
+            }
         );
     }
 
@@ -272,7 +273,10 @@ mod tests {
         let builder = MultipartBuilder::new("a/b", 10)
             .boundary("xyz")
             .part(r(0, 1), Body::from(vec![1, 2]));
-        assert_eq!(builder.content_type_header(), "multipart/byteranges; boundary=xyz");
+        assert_eq!(
+            builder.content_type_header(),
+            "multipart/byteranges; boundary=xyz"
+        );
         let parts = parse(builder.build().as_bytes(), "xyz").unwrap();
         assert_eq!(parts.len(), 1);
     }
@@ -282,6 +286,8 @@ mod tests {
         let builder = MultipartBuilder::new("a/b", 10);
         let payload = builder.build();
         assert_eq!(payload.as_bytes(), b"--THIS_STRING_SEPARATES--\r\n");
-        assert!(parse(payload.as_bytes(), DEFAULT_BOUNDARY).unwrap().is_empty());
+        assert!(parse(payload.as_bytes(), DEFAULT_BOUNDARY)
+            .unwrap()
+            .is_empty());
     }
 }

@@ -102,16 +102,17 @@ impl RangeRequestGenerator {
             RangeCaseKind::OpenEnded => {
                 RangeHeader::from_first(self.rng.gen_range(0..self.file_size))
             }
-            RangeCaseKind::Suffix => {
-                RangeHeader::suffix(self.rng.gen_range(1..=self.file_size))
-            }
+            RangeCaseKind::Suffix => RangeHeader::suffix(self.rng.gen_range(1..=self.file_size)),
             RangeCaseKind::MultiDisjoint => {
                 let count = self.rng.gen_range(2..=5u64);
                 let stride = (self.file_size / (count * 2)).max(2);
                 let specs = (0..count)
                     .map(|i| {
                         let first = i * 2 * stride;
-                        ByteRangeSpec::FromTo { first, last: first + stride - 1 }
+                        ByteRangeSpec::FromTo {
+                            first,
+                            last: first + stride - 1,
+                        }
                     })
                     .collect();
                 RangeHeader::new(specs).expect("disjoint specs are valid")

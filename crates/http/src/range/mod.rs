@@ -128,9 +128,7 @@ impl ResolvedRange {
 
     /// Whether two ranges overlap or are directly adjacent.
     pub fn touches(&self, other: &ResolvedRange) -> bool {
-        self.overlaps(other)
-            || self.last + 1 == other.first
-            || other.last + 1 == self.first
+        self.overlaps(other) || self.last + 1 == other.first || other.last + 1 == self.first
     }
 }
 
@@ -330,8 +328,15 @@ impl ContentRange {
 impl fmt::Display for ContentRange {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            ContentRange::Satisfied { range, complete_length } => {
-                write!(f, "bytes {}-{}/{}", range.first, range.last, complete_length)
+            ContentRange::Satisfied {
+                range,
+                complete_length,
+            } => {
+                write!(
+                    f,
+                    "bytes {}-{}/{}",
+                    range.first, range.last, complete_length
+                )
             }
             ContentRange::Unsatisfied { complete_length } => {
                 write!(f, "bytes */{complete_length}")
@@ -346,16 +351,25 @@ mod tests {
 
     #[test]
     fn resolve_from_to_clamps_last() {
-        let spec = ByteRangeSpec::FromTo { first: 998, last: 5000 };
+        let spec = ByteRangeSpec::FromTo {
+            first: 998,
+            last: 5000,
+        };
         assert_eq!(
             spec.resolve(1000),
-            Some(ResolvedRange { first: 998, last: 999 })
+            Some(ResolvedRange {
+                first: 998,
+                last: 999
+            })
         );
     }
 
     #[test]
     fn resolve_rejects_first_past_end() {
-        let spec = ByteRangeSpec::FromTo { first: 1000, last: 1000 };
+        let spec = ByteRangeSpec::FromTo {
+            first: 1000,
+            last: 1000,
+        };
         assert_eq!(spec.resolve(1000), None);
         assert_eq!(ByteRangeSpec::From { first: 1000 }.resolve(1000), None);
     }
@@ -365,12 +379,18 @@ mod tests {
         let spec = ByteRangeSpec::Suffix { len: 2 };
         assert_eq!(
             spec.resolve(1000),
-            Some(ResolvedRange { first: 998, last: 999 })
+            Some(ResolvedRange {
+                first: 998,
+                last: 999
+            })
         );
         // Suffix longer than the representation covers everything.
         assert_eq!(
             ByteRangeSpec::Suffix { len: 5000 }.resolve(1000),
-            Some(ResolvedRange { first: 0, last: 999 })
+            Some(ResolvedRange {
+                first: 0,
+                last: 999
+            })
         );
         assert_eq!(ByteRangeSpec::Suffix { len: 0 }.resolve(1000), None);
         assert_eq!(ByteRangeSpec::Suffix { len: 5 }.resolve(0), None);
@@ -379,8 +399,14 @@ mod tests {
     #[test]
     fn overlap_detection() {
         let a = ResolvedRange { first: 0, last: 10 };
-        let b = ResolvedRange { first: 10, last: 20 };
-        let c = ResolvedRange { first: 11, last: 20 };
+        let b = ResolvedRange {
+            first: 10,
+            last: 20,
+        };
+        let c = ResolvedRange {
+            first: 11,
+            last: 20,
+        };
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c));
         assert!(a.touches(&c));
@@ -407,7 +433,10 @@ mod tests {
 
         // Many disjoint small ranges trips the heuristic.
         let specs: Vec<_> = (0..40)
-            .map(|i| ByteRangeSpec::FromTo { first: i * 100, last: i * 100 })
+            .map(|i| ByteRangeSpec::FromTo {
+                first: i * 100,
+                last: i * 100,
+            })
             .collect();
         let many = RangeHeader::new(specs).unwrap();
         assert!(many.is_egregious(100_000));
@@ -415,7 +444,13 @@ mod tests {
 
     #[test]
     fn display_round_trips_through_parse() {
-        for text in ["bytes=0-0", "bytes=-1", "bytes=0-", "bytes=1-1,-2", "bytes=0-,0-,0-"] {
+        for text in [
+            "bytes=0-0",
+            "bytes=-1",
+            "bytes=0-",
+            "bytes=1-1,-2",
+            "bytes=0-,0-,0-",
+        ] {
             let header = RangeHeader::parse(text).unwrap();
             assert_eq!(header.to_string(), text);
         }
@@ -428,7 +463,9 @@ mod tests {
             complete_length: 1000,
         };
         assert_eq!(satisfied.to_string(), "bytes 0-0/1000");
-        let unsatisfied = ContentRange::Unsatisfied { complete_length: 1000 };
+        let unsatisfied = ContentRange::Unsatisfied {
+            complete_length: 1000,
+        };
         assert_eq!(unsatisfied.to_string(), "bytes */1000");
     }
 

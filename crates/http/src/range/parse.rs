@@ -139,7 +139,10 @@ mod tests {
         let header = parse_range_header("bytes=0-18446744073709551615").unwrap();
         assert_eq!(
             header.specs()[0],
-            ByteRangeSpec::FromTo { first: 0, last: u64::MAX }
+            ByteRangeSpec::FromTo {
+                first: 0,
+                last: u64::MAX
+            }
         );
         assert!(parse_range_header("bytes=0-18446744073709551616").is_err());
     }
@@ -159,7 +162,12 @@ mod tests {
     #[test]
     fn content_range_unsatisfied() {
         let cr = parse_content_range("bytes */1000").unwrap();
-        assert_eq!(cr, ContentRange::Unsatisfied { complete_length: 1000 });
+        assert_eq!(
+            cr,
+            ContentRange::Unsatisfied {
+                complete_length: 1000
+            }
+        );
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub struct RangeSet {
 impl RangeSet {
     /// Analyzes `ranges` against a representation length.
     pub fn new(ranges: Vec<ResolvedRange>, complete_length: u64) -> RangeSet {
-        RangeSet { ranges, complete_length }
+        RangeSet {
+            ranges,
+            complete_length,
+        }
     }
 
     /// The ranges in request order.

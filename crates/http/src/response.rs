@@ -62,7 +62,8 @@ impl Response {
     /// Replaces the payload, fixing up `Content-Length` to match.
     pub fn set_body(&mut self, body: impl Into<Body>) {
         self.body = body.into();
-        self.headers.set("Content-Length", self.body.len().to_string());
+        self.headers
+            .set("Content-Length", self.body.len().to_string());
     }
 
     /// Wire length of the status line in bytes, including CRLF.
@@ -119,7 +120,8 @@ impl ResponseBuilder {
     /// Sets the payload and a matching `Content-Length` header.
     pub fn sized_body(mut self, body: impl Into<Body>) -> ResponseBuilder {
         self.body = body.into();
-        self.headers.set("Content-Length", self.body.len().to_string());
+        self.headers
+            .set("Content-Length", self.body.len().to_string());
         self
     }
 
@@ -156,13 +158,17 @@ mod tests {
 
     #[test]
     fn sized_body_sets_content_length() {
-        let resp = Response::builder(StatusCode::OK).sized_body(vec![0u8; 42]).build();
+        let resp = Response::builder(StatusCode::OK)
+            .sized_body(vec![0u8; 42])
+            .build();
         assert_eq!(resp.headers().get("content-length"), Some("42"));
     }
 
     #[test]
     fn set_body_updates_content_length() {
-        let mut resp = Response::builder(StatusCode::OK).sized_body(vec![0u8; 4]).build();
+        let mut resp = Response::builder(StatusCode::OK)
+            .sized_body(vec![0u8; 4])
+            .build();
         resp.set_body(vec![0u8; 9]);
         assert_eq!(resp.headers().get("content-length"), Some("9"));
         assert_eq!(resp.body().len(), 9);

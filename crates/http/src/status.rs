@@ -31,8 +31,15 @@ impl StatusCode {
     /// `431 Request Header Fields Too Large` — emitted when a request
     /// exceeds a CDN's header size limit (paper §V-C).
     pub const REQUEST_HEADER_FIELDS_TOO_LARGE: StatusCode = StatusCode(431);
+    /// `500 Internal Server Error`.
+    pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
     /// `502 Bad Gateway`.
     pub const BAD_GATEWAY: StatusCode = StatusCode(502);
+    /// `503 Service Unavailable` — emitted by the origin's overload
+    /// shedder when the concurrent-transfer budget is exhausted.
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+    /// `504 Gateway Timeout`.
+    pub const GATEWAY_TIMEOUT: StatusCode = StatusCode(504);
 
     /// Builds a status code from its numeric value.
     ///
@@ -124,7 +131,10 @@ mod tests {
 
     #[test]
     fn reason_phrases() {
-        assert_eq!(StatusCode::PARTIAL_CONTENT.reason_phrase(), "Partial Content");
+        assert_eq!(
+            StatusCode::PARTIAL_CONTENT.reason_phrase(),
+            "Partial Content"
+        );
         assert_eq!(
             StatusCode::RANGE_NOT_SATISFIABLE.reason_phrase(),
             "Range Not Satisfiable"

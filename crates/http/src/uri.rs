@@ -27,7 +27,9 @@ impl Uri {
                 .bytes()
                 .any(|b| b == b' ' || b == b'\t' || b.is_ascii_control())
         {
-            return Err(Error::InvalidStartLine(format!("bad request target {target:?}")));
+            return Err(Error::InvalidStartLine(format!(
+                "bad request target {target:?}"
+            )));
         }
         match target.split_once('?') {
             Some((path, query)) => Ok(Uri {

@@ -57,7 +57,9 @@ fn encode_headers(headers: &HeaderMap, out: &mut Vec<u8>) {
 pub fn decode_request(input: &[u8]) -> Result<Request> {
     let (head, body_offset) = split_head(input)?;
     let mut lines = head.split(|&b| b == b'\n').map(trim_cr);
-    let start = lines.next().ok_or(Error::UnexpectedEof { context: "request line" })?;
+    let start = lines.next().ok_or(Error::UnexpectedEof {
+        context: "request line",
+    })?;
     let start = std::str::from_utf8(start)
         .map_err(|_| Error::InvalidStartLine("non-utf8 request line".to_string()))?;
 
@@ -98,7 +100,9 @@ pub fn decode_request(input: &[u8]) -> Result<Request> {
 pub fn decode_response(input: &[u8]) -> Result<Response> {
     let (head, body_offset) = split_head(input)?;
     let mut lines = head.split(|&b| b == b'\n').map(trim_cr);
-    let start = lines.next().ok_or(Error::UnexpectedEof { context: "status line" })?;
+    let start = lines.next().ok_or(Error::UnexpectedEof {
+        context: "status line",
+    })?;
     let start = std::str::from_utf8(start)
         .map_err(|_| Error::InvalidStartLine("non-utf8 status line".to_string()))?;
 
@@ -129,7 +133,9 @@ fn split_head(input: &[u8]) -> Result<(&[u8], usize)> {
     let pos = input
         .windows(4)
         .position(|w| w == b"\r\n\r\n")
-        .ok_or(Error::UnexpectedEof { context: "header block" })?;
+        .ok_or(Error::UnexpectedEof {
+            context: "header block",
+        })?;
     Ok((&input[..pos], pos + 4))
 }
 
@@ -170,7 +176,9 @@ fn extract_body(
                 .parse()
                 .map_err(|_| Error::InvalidContentLength(raw.to_string()))?;
             if (available.len() as u64) < declared {
-                return Err(Error::UnexpectedEof { context: "message body" });
+                return Err(Error::UnexpectedEof {
+                    context: "message body",
+                });
             }
             Ok(Body::from_bytes(Bytes::copy_from_slice(
                 &available[..declared as usize],
@@ -256,7 +264,9 @@ mod tests {
     fn encoded_sizes_match_wire_len() {
         let req = Request::get("/f").header("Host", "h").build();
         assert_eq!(encode_request(&req).len() as u64, req.wire_len());
-        let resp = Response::builder(StatusCode::OK).sized_body(vec![1, 2, 3]).build();
+        let resp = Response::builder(StatusCode::OK)
+            .sized_body(vec![1, 2, 3])
+            .build();
         assert_eq!(encode_response(&resp).len() as u64, resp.wire_len());
     }
 }

@@ -32,6 +32,10 @@ pub struct CaptureEntry {
     pub content_type: Option<String>,
     /// Payload length in bytes.
     pub body_len: u64,
+    /// Wire bytes actually delivered before the receiver aborted, when
+    /// the transfer was cut short; `None` for complete deliveries.
+    /// `wire_len` always records the full message as put on the wire.
+    pub delivered_len: Option<u64>,
 }
 
 impl CaptureEntry {
@@ -44,6 +48,7 @@ impl CaptureEntry {
             range_header: req.headers().get("range").map(str::to_string),
             content_type: req.headers().get("content-type").map(str::to_string),
             body_len: req.body().len(),
+            delivered_len: None,
         }
     }
 
@@ -61,7 +66,22 @@ impl CaptureEntry {
             range_header: resp.headers().get("content-range").map(str::to_string),
             content_type: resp.headers().get("content-type").map(str::to_string),
             body_len: resp.body().len(),
+            delivered_len: None,
         }
+    }
+
+    /// Summarizes a response of which only `delivered` wire bytes reached
+    /// the receiver before the connection was cut.
+    pub fn of_response_truncated(resp: &Response, delivered: u64) -> CaptureEntry {
+        CaptureEntry {
+            delivered_len: Some(delivered.min(resp.wire_len())),
+            ..CaptureEntry::of_response(resp)
+        }
+    }
+
+    /// Whether the receiver aborted this delivery before the end.
+    pub fn is_truncated(&self) -> bool {
+        self.delivered_len.is_some()
     }
 }
 
@@ -115,6 +135,11 @@ impl CaptureLog {
             .collect()
     }
 
+    /// Entries whose delivery was aborted mid-transfer.
+    pub fn truncated_entries(&self) -> Vec<&CaptureEntry> {
+        self.entries.iter().filter(|e| e.is_truncated()).collect()
+    }
+
     /// Total response bytes captured.
     pub fn response_bytes(&self) -> u64 {
         self.in_direction(Direction::Downstream)
@@ -152,7 +177,11 @@ impl CaptureLog {
                 };
                 out.push_str(&format!(" | {label}: {shown}"));
             }
-            out.push_str(&format!(" | {} B\n", entry.wire_len));
+            out.push_str(&format!(" | {} B", entry.wire_len));
+            if let Some(delivered) = entry.delivered_len {
+                out.push_str(&format!(" (aborted after {delivered} B)"));
+            }
+            out.push('\n');
         }
         out
     }
@@ -219,7 +248,9 @@ mod tests {
         ));
         let trace = log.render();
         assert!(trace.contains("-> GET /f.bin?rnd=1 HTTP/1.1 | Range: bytes=0-0"));
-        assert!(trace.contains("<- HTTP/1.1 206 Partial Content | Content-Range: bytes 0-0/1048576"));
+        assert!(
+            trace.contains("<- HTTP/1.1 206 Partial Content | Content-Range: bytes 0-0/1048576")
+        );
         assert_eq!(trace.lines().count(), 2);
     }
 
@@ -228,7 +259,9 @@ mod tests {
         let mut log = CaptureLog::new();
         let huge = "bytes=".to_string() + &"0-,".repeat(5000);
         log.push(CaptureEntry::of_request(
-            &Request::get("/f").header("Range", huge.trim_end_matches(',')).build(),
+            &Request::get("/f")
+                .header("Range", huge.trim_end_matches(','))
+                .build(),
         ));
         let trace = log.render();
         assert!(trace.contains("chars)"));
@@ -236,10 +269,38 @@ mod tests {
     }
 
     #[test]
+    fn truncated_response_records_delivered_bytes() {
+        let resp = Response::builder(StatusCode::OK)
+            .sized_body(vec![0u8; 10_000])
+            .build();
+        let entry = CaptureEntry::of_response_truncated(&resp, 512);
+        assert!(entry.is_truncated());
+        assert_eq!(entry.delivered_len, Some(512));
+        assert_eq!(entry.wire_len, resp.wire_len(), "full size still recorded");
+
+        let mut log = CaptureLog::new();
+        log.push(CaptureEntry::of_response(&resp));
+        log.push(entry);
+        assert_eq!(log.truncated_entries().len(), 1);
+        assert!(log.render().contains("(aborted after 512 B)"));
+    }
+
+    #[test]
+    fn truncated_delivery_clamps_to_wire_len() {
+        let resp = Response::builder(StatusCode::OK)
+            .sized_body(vec![0u8; 8])
+            .build();
+        let entry = CaptureEntry::of_response_truncated(&resp, u64::MAX);
+        assert_eq!(entry.delivered_len, Some(resp.wire_len()));
+    }
+
+    #[test]
     fn response_bytes_sums_downstream_only() {
         let mut log = CaptureLog::new();
         let req = Request::get("/a").build();
-        let resp = Response::builder(StatusCode::OK).sized_body(vec![0u8; 10]).build();
+        let resp = Response::builder(StatusCode::OK)
+            .sized_body(vec![0u8; 10])
+            .build();
         log.push(CaptureEntry::of_request(&req));
         log.push(CaptureEntry::of_response(&resp));
         assert_eq!(log.response_bytes(), resp.wire_len());

@@ -1,6 +1,8 @@
 //! Deterministic virtual time.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A virtual clock measured in milliseconds.
 ///
@@ -39,6 +41,65 @@ impl VirtualClock {
     }
 }
 
+/// A cloneable handle on one shared virtual clock.
+///
+/// [`VirtualClock`] is a `Copy` value, which is right for single-owner
+/// experiment loops but useless when several components (retry loops,
+/// circuit breakers, the origin's overload shedder) must observe the
+/// *same* advancing time. `SharedClock` is the multi-reader variant:
+/// clones share state, and advancing any handle advances them all.
+#[derive(Debug, Clone, Default)]
+pub struct SharedClock {
+    millis: Arc<AtomicU64>,
+}
+
+impl SharedClock {
+    /// A shared clock at time zero.
+    pub fn new() -> SharedClock {
+        SharedClock::default()
+    }
+
+    /// A shared clock starting at `millis`.
+    pub fn starting_at(millis: u64) -> SharedClock {
+        let clock = SharedClock::new();
+        clock.millis.store(millis, Ordering::SeqCst);
+        clock
+    }
+
+    /// Current time in milliseconds.
+    pub fn now_millis(&self) -> u64 {
+        self.millis.load(Ordering::SeqCst)
+    }
+
+    /// Current time in whole seconds.
+    pub fn now_secs(&self) -> u64 {
+        self.now_millis() / 1000
+    }
+
+    /// Advances the clock for every handle.
+    pub fn advance_millis(&self, millis: u64) {
+        self.millis.fetch_add(millis, Ordering::SeqCst);
+    }
+
+    /// Advances the clock by whole seconds.
+    pub fn advance_secs(&self, secs: u64) {
+        self.advance_millis(secs * 1000);
+    }
+
+    /// A `Copy` snapshot of the current instant.
+    pub fn snapshot(&self) -> VirtualClock {
+        let mut clock = VirtualClock::new();
+        clock.advance_millis(self.now_millis());
+        clock
+    }
+}
+
+impl fmt::Display for SharedClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
 impl fmt::Display for VirtualClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "t={}.{:03}s", self.millis / 1000, self.millis % 1000)
@@ -57,6 +118,18 @@ mod tests {
         assert_eq!(clock.now_secs(), 1);
         clock.advance_secs(2);
         assert_eq!(clock.now_millis(), 3500);
+    }
+
+    #[test]
+    fn shared_clock_handles_observe_the_same_time() {
+        let clock = SharedClock::new();
+        let other = clock.clone();
+        clock.advance_millis(250);
+        other.advance_secs(1);
+        assert_eq!(clock.now_millis(), 1250);
+        assert_eq!(other.now_millis(), 1250);
+        assert_eq!(clock.snapshot().now_millis(), 1250);
+        assert_eq!(SharedClock::starting_at(500).now_millis(), 500);
     }
 
     #[test]

@@ -35,10 +35,12 @@
 
 pub mod capture;
 pub mod clock;
+pub mod fault;
 pub mod flowsim;
 mod segment;
 
 pub use capture::{CaptureEntry, CaptureLog, Direction};
-pub use clock::VirtualClock;
+pub use clock::{SharedClock, VirtualClock};
+pub use fault::{Delivery, FaultEvent, FaultKind, FaultPlan, FaultRates, FaultySegment};
 pub use flowsim::{FlowId, FlowSim, LinkId};
 pub use segment::{Segment, SegmentName, SegmentStats};

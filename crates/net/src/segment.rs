@@ -126,7 +126,9 @@ impl Segment {
         inner.stats.response_bytes += resp.wire_len().min(received_bytes);
         inner.stats.h2_response_bytes +=
             rangeamp_http::h2frame::response_wire_len(resp).min(received_bytes);
-        inner.capture.push(CaptureEntry::of_response(resp));
+        inner
+            .capture
+            .push(CaptureEntry::of_response_truncated(resp, received_bytes));
         inner.aborted = true;
     }
 
@@ -166,7 +168,9 @@ mod tests {
     fn meters_both_directions() {
         let segment = Segment::new(SegmentName::CdnOrigin);
         let req = Request::get("/f").header("Host", "h").build();
-        let resp = Response::builder(StatusCode::OK).sized_body(vec![0u8; 100]).build();
+        let resp = Response::builder(StatusCode::OK)
+            .sized_body(vec![0u8; 100])
+            .build();
         segment.send_request(&req);
         segment.send_request(&req);
         segment.send_response(&resp);
@@ -189,18 +193,26 @@ mod tests {
     #[test]
     fn truncated_delivery_counts_received_bytes_only() {
         let segment = Segment::new(SegmentName::ClientFcdn);
-        let resp = Response::builder(StatusCode::OK).sized_body(vec![0u8; 10_000]).build();
+        let resp = Response::builder(StatusCode::OK)
+            .sized_body(vec![0u8; 10_000])
+            .build();
         segment.send_response_truncated(&resp, 512);
         assert_eq!(segment.stats().response_bytes, 512);
         assert!(segment.is_aborted());
-        // Capture still records the full message for analysis.
-        assert_eq!(segment.capture().entries()[0].wire_len, resp.wire_len());
+        // Capture still records the full message for analysis, plus the
+        // fact that only 512 bytes of it were delivered.
+        let capture = segment.capture();
+        let entry = &capture.entries()[0];
+        assert_eq!(entry.wire_len, resp.wire_len());
+        assert_eq!(entry.delivered_len, Some(512));
     }
 
     #[test]
     fn truncation_never_inflates() {
         let segment = Segment::new(SegmentName::ClientFcdn);
-        let resp = Response::builder(StatusCode::OK).sized_body(vec![0u8; 8]).build();
+        let resp = Response::builder(StatusCode::OK)
+            .sized_body(vec![0u8; 8])
+            .build();
         segment.send_response_truncated(&resp, u64::MAX);
         assert_eq!(segment.stats().response_bytes, resp.wire_len());
     }

@@ -1,0 +1,101 @@
+//! Property tests for the fault-injection layer: a seeded [`FaultPlan`]
+//! is a pure function of (seed, rates, call order), so two identical
+//! runs must meter byte-identical [`SegmentStats`] — the invariant every
+//! chaos campaign's reproducibility rests on.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use rangeamp_http::{Request, Response, StatusCode};
+use rangeamp_net::{
+    Delivery, FaultPlan, FaultRates, FaultySegment, Segment, SegmentName, SegmentStats,
+};
+
+fn rates_strategy() -> impl Strategy<Value = FaultRates> {
+    (
+        0.0f64..0.3,
+        0.0f64..0.2,
+        0.0f64..0.2,
+        0.0f64..0.2,
+        0.0f64..0.2,
+    )
+        .prop_map(
+            |(origin_5xx, timeout, connection_reset, truncation, slow_link)| FaultRates {
+                origin_5xx,
+                timeout,
+                connection_reset,
+                truncation,
+                slow_link,
+            },
+        )
+}
+
+/// Replays `sizes` as response transfers through a fresh faulty segment
+/// and returns the metered stats plus the delivery verdicts.
+fn run_schedule(seed: u64, rates: FaultRates, sizes: &[u64]) -> (SegmentStats, Vec<Delivery>) {
+    let plan = Arc::new(FaultPlan::with_rates(seed, rates));
+    let faulty = FaultySegment::new(Segment::new(SegmentName::CdnOrigin), plan);
+    let req = Request::get("/f.bin")
+        .header("Host", "victim.example")
+        .build();
+    let mut deliveries = Vec::with_capacity(sizes.len());
+    for size in sizes {
+        faulty.send_request(&req);
+        let resp = Response::builder(StatusCode::OK)
+            .sized_body(vec![0u8; *size as usize])
+            .build();
+        deliveries.push(faulty.send_response(&resp));
+    }
+    (faulty.segment().stats(), deliveries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn same_seed_same_segment_stats(
+        seed in any::<u64>(),
+        rates in rates_strategy(),
+        sizes in proptest::collection::vec(1u64..200_000, 1..40),
+    ) {
+        let (stats_a, deliveries_a) = run_schedule(seed, rates, &sizes);
+        let (stats_b, deliveries_b) = run_schedule(seed, rates, &sizes);
+        prop_assert_eq!(stats_a, stats_b, "same seed must meter identical bytes");
+        prop_assert_eq!(deliveries_a, deliveries_b);
+    }
+
+    #[test]
+    fn healthy_rates_deliver_everything(
+        seed in any::<u64>(),
+        sizes in proptest::collection::vec(1u64..100_000, 1..20),
+    ) {
+        let (stats, deliveries) = run_schedule(seed, FaultRates::HEALTHY, &sizes);
+        prop_assert!(deliveries.iter().all(|d| *d == Delivery::Full));
+        prop_assert_eq!(stats.responses, sizes.len() as u64);
+    }
+
+    #[test]
+    fn delivered_bytes_never_exceed_wire_bytes(
+        seed in any::<u64>(),
+        rates in rates_strategy(),
+        sizes in proptest::collection::vec(1u64..100_000, 1..30),
+    ) {
+        let (stats, deliveries) = run_schedule(seed, rates, &sizes);
+        let wire_total: u64 = sizes
+            .iter()
+            .zip(&deliveries)
+            .map(|(size, delivery)| {
+                let resp = Response::builder(StatusCode::OK)
+                    .sized_body(vec![0u8; *size as usize])
+                    .build();
+                match delivery {
+                    Delivery::Full => resp.wire_len(),
+                    Delivery::Truncated { delivered } => *delivered,
+                    Delivery::TimedOut => 0,
+                }
+            })
+            .sum();
+        prop_assert_eq!(stats.response_bytes, wire_total);
+    }
+}

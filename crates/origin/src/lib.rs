@@ -11,7 +11,10 @@
 //!   origin replies 200 with the full body — §IV-C), and multi-range
 //!   hardening can be toggled (Apache's post-CVE-2011-3192 behaviour),
 //! * [`RateLimiter`] — the "enforce local DoS defense" server-side
-//!   mitigation of §VI-C.
+//!   mitigation of §VI-C,
+//! * [`OverloadShedder`] — a concurrent-transfer budget; past it the
+//!   origin sheds with `503` + `Retry-After`, the failure the edge
+//!   resilience layer (retry, circuit breaker, serve-stale) reacts to.
 //!
 //! # Example
 //!
@@ -34,11 +37,13 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod config;
+mod overload;
 mod ratelimit;
 mod resource;
 mod server;
 
 pub use config::{MultiRangeBehavior, OriginConfig};
+pub use overload::{OverloadPolicy, OverloadShedder};
 pub use ratelimit::RateLimiter;
 pub use resource::{Resource, ResourceStore};
 pub use server::OriginServer;

@@ -1,0 +1,153 @@
+//! Concurrent-transfer overload model for the origin.
+//!
+//! The paper's origin is a single Apache box on a 1000 Mbps uplink; under
+//! an SBR flood it is the transfer slots, not the request parsing, that
+//! run out first. [`OverloadShedder`] models that: each admitted
+//! body-bearing response occupies a transfer slot for as long as the
+//! payload takes to drain at the per-transfer rate, and once the
+//! concurrent budget is exhausted further requests are shed with
+//! `503 Service Unavailable` + `Retry-After` — the signal the edge
+//! resilience layer (retry/backoff, circuit breaker) reacts to.
+//!
+//! Time is supplied by the caller in virtual milliseconds, like
+//! [`RateLimiter`](crate::RateLimiter), so overload behaviour is fully
+//! deterministic and composes with the token-bucket defense: the rate
+//! limiter polices *request arrival*, the shedder polices *transfer
+//! occupancy*.
+
+use std::sync::Mutex;
+
+/// Sizing of the origin's transfer budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadPolicy {
+    /// Transfers allowed in flight at once; beyond this the origin sheds.
+    pub max_concurrent_transfers: usize,
+    /// Per-transfer drain rate in bytes per virtual millisecond. The
+    /// default (12 500 B/ms = 100 Mbps) matches one-tenth of the paper's
+    /// 1000 Mbps uplink.
+    pub transfer_bytes_per_ms: u64,
+    /// Value advertised in `Retry-After` when shedding, in seconds.
+    pub retry_after_secs: u64,
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> OverloadPolicy {
+        OverloadPolicy {
+            max_concurrent_transfers: 64,
+            transfer_bytes_per_ms: 12_500,
+            retry_after_secs: 1,
+        }
+    }
+}
+
+impl OverloadPolicy {
+    /// A deliberately tiny budget for tests and chaos campaigns.
+    pub fn strict(max_concurrent_transfers: usize) -> OverloadPolicy {
+        OverloadPolicy {
+            max_concurrent_transfers,
+            ..OverloadPolicy::default()
+        }
+    }
+}
+
+/// Tracks in-flight transfers and sheds past the budget.
+///
+/// Interior mutability keeps [`OriginServer::handle_at`] callable through
+/// `&self`, mirroring how the rest of the testbed shares components.
+///
+/// [`OriginServer::handle_at`]: crate::OriginServer::handle_at
+#[derive(Debug)]
+pub struct OverloadShedder {
+    policy: OverloadPolicy,
+    /// Virtual end times (ms) of transfers still occupying a slot.
+    active_until: Mutex<Vec<u64>>,
+}
+
+impl OverloadShedder {
+    /// Creates a shedder with the given budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget admits no transfers or drains at zero rate.
+    pub fn new(policy: OverloadPolicy) -> OverloadShedder {
+        assert!(
+            policy.max_concurrent_transfers > 0,
+            "budget must admit transfers"
+        );
+        assert!(
+            policy.transfer_bytes_per_ms > 0,
+            "drain rate must be positive"
+        );
+        OverloadShedder {
+            policy,
+            active_until: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The active budget.
+    pub fn policy(&self) -> &OverloadPolicy {
+        &self.policy
+    }
+
+    /// Tries to admit a transfer of `transfer_bytes` starting at `now_ms`.
+    ///
+    /// # Errors
+    ///
+    /// When the budget is exhausted, returns the `Retry-After` value in
+    /// seconds the shed response should advertise.
+    pub fn try_admit(&self, now_ms: u64, transfer_bytes: u64) -> Result<(), u64> {
+        let mut active = self.active_until.lock().unwrap_or_else(|e| e.into_inner());
+        active.retain(|&end| end > now_ms);
+        if active.len() >= self.policy.max_concurrent_transfers {
+            return Err(self.policy.retry_after_secs);
+        }
+        let drain_ms = transfer_bytes
+            .div_ceil(self.policy.transfer_bytes_per_ms)
+            .max(1);
+        active.push(now_ms + drain_ms);
+        Ok(())
+    }
+
+    /// Transfers occupying a slot at `now_ms`.
+    pub fn in_flight(&self, now_ms: u64) -> usize {
+        let active = self.active_until.lock().unwrap_or_else(|e| e.into_inner());
+        active.iter().filter(|&&end| end > now_ms).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_until_budget_then_sheds() {
+        let shedder = OverloadShedder::new(OverloadPolicy::strict(2));
+        assert!(shedder.try_admit(0, 1_000_000).is_ok());
+        assert!(shedder.try_admit(0, 1_000_000).is_ok());
+        assert_eq!(shedder.try_admit(0, 1_000_000), Err(1));
+        assert_eq!(shedder.in_flight(0), 2);
+    }
+
+    #[test]
+    fn slots_free_after_drain_time() {
+        let shedder = OverloadShedder::new(OverloadPolicy::strict(1));
+        // 1 MB at 12 500 B/ms drains in 80 ms.
+        assert!(shedder.try_admit(0, 1_000_000).is_ok());
+        assert_eq!(shedder.try_admit(40, 1_000_000), Err(1));
+        assert!(shedder.try_admit(80, 1_000_000).is_ok());
+    }
+
+    #[test]
+    fn tiny_transfers_still_occupy_one_millisecond() {
+        let shedder = OverloadShedder::new(OverloadPolicy::strict(1));
+        assert!(shedder.try_admit(0, 1).is_ok());
+        assert_eq!(shedder.in_flight(0), 1);
+        assert_eq!(shedder.in_flight(1), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_budget_is_rejected() {
+        OverloadShedder::new(OverloadPolicy::strict(0));
+    }
+}

@@ -2,7 +2,7 @@ use rangeamp_http::multipart::MultipartBuilder;
 use rangeamp_http::range::RangeHeader;
 use rangeamp_http::{Method, Request, Response, ResponseBuilder, StatusCode};
 
-use crate::{MultiRangeBehavior, OriginConfig, Resource, ResourceStore};
+use crate::{MultiRangeBehavior, OriginConfig, OverloadShedder, Resource, ResourceStore};
 
 /// The origin web server.
 ///
@@ -21,6 +21,7 @@ use crate::{MultiRangeBehavior, OriginConfig, Resource, ResourceStore};
 pub struct OriginServer {
     store: ResourceStore,
     config: OriginConfig,
+    overload: Option<OverloadShedder>,
 }
 
 impl OriginServer {
@@ -32,7 +33,26 @@ impl OriginServer {
 
     /// Creates a server with an explicit configuration.
     pub fn with_config(store: ResourceStore, config: OriginConfig) -> OriginServer {
-        OriginServer { store, config }
+        OriginServer {
+            store,
+            config,
+            overload: None,
+        }
+    }
+
+    /// Attaches an overload shedder: body-bearing responses occupy
+    /// transfer slots, and past the budget [`handle_at`] answers `503`
+    /// with `Retry-After` instead.
+    ///
+    /// [`handle_at`]: OriginServer::handle_at
+    pub fn with_overload(mut self, shedder: OverloadShedder) -> OriginServer {
+        self.overload = Some(shedder);
+        self
+    }
+
+    /// The overload shedder, if one is attached.
+    pub fn overload(&self) -> Option<&OverloadShedder> {
+        self.overload.as_ref()
     }
 
     /// The active configuration.
@@ -51,11 +71,41 @@ impl OriginServer {
         &self.store
     }
 
-    /// Handles one request, producing the complete response.
+    /// Handles one request at virtual time zero.
+    ///
+    /// Identical to [`handle_at`](OriginServer::handle_at) with
+    /// `now_ms == 0`; kept as the simple entry point for callers that do
+    /// not model time (the overload budget never frees at a frozen
+    /// clock, so attach a shedder only through `handle_at` callers).
+    pub fn handle(&self, req: &Request) -> Response {
+        self.handle_at(req, 0)
+    }
+
+    /// Handles one request at virtual time `now_ms`, producing the
+    /// complete response.
     ///
     /// `HEAD` requests receive the `GET` response's headers with an empty
     /// payload; `If-None-Match` hits are answered `304 Not Modified`.
-    pub fn handle(&self, req: &Request) -> Response {
+    /// With an [`OverloadShedder`] attached, successful body-bearing
+    /// responses must win a transfer slot first — otherwise the request
+    /// is shed with `503 Service Unavailable` and a `Retry-After` header.
+    pub fn handle_at(&self, req: &Request, now_ms: u64) -> Response {
+        let resp = self.respond(req);
+        if let Some(shedder) = &self.overload {
+            if resp.status().is_success() && !resp.body().is_empty() {
+                if let Err(retry_after_secs) = shedder.try_admit(now_ms, resp.body().len()) {
+                    return self
+                        .base_response(StatusCode::SERVICE_UNAVAILABLE)
+                        .header("Retry-After", retry_after_secs.to_string())
+                        .sized_body("origin transfer budget exhausted")
+                        .build();
+                }
+            }
+        }
+        resp
+    }
+
+    fn respond(&self, req: &Request) -> Response {
         if !matches!(req.method(), Method::Get | Method::Head) {
             return self
                 .base_response(StatusCode::BAD_REQUEST)
@@ -93,7 +143,6 @@ impl OriginServer {
     }
 
     fn handle_get(&self, req: &Request, resource: &Resource) -> Response {
-
         let range_value = req.headers().get("range");
         if !self.config.ranges_enabled {
             // Range support off: header ignored, no Accept-Ranges.
@@ -158,8 +207,7 @@ impl OriginServer {
                     .build()
             }
             _ => {
-                let mut builder =
-                    MultipartBuilder::new(resource.content_type(), resource.len());
+                let mut builder = MultipartBuilder::new(resource.content_type(), resource.len());
                 for range in &resolved {
                     builder = builder.part(*range, resource.slice(range.first, range.last));
                 }
@@ -238,7 +286,10 @@ mod tests {
     #[test]
     fn missing_resource_is_404() {
         let server = server_with("/f.bin", 10);
-        assert_eq!(server.handle(&get("/nope", None)).status(), StatusCode::NOT_FOUND);
+        assert_eq!(
+            server.handle(&get("/nope", None)).status(),
+            StatusCode::NOT_FOUND
+        );
     }
 
     #[test]
@@ -347,7 +398,9 @@ mod tests {
         // Honor mode still enforces MaxRanges? No: limit only consulted in
         // the hardened modes. Honor is the deliberately-vulnerable mode.
         let server = OriginServer::with_config(store, config);
-        let specs: Vec<String> = (0..6).map(|i| format!("{}-{}", i * 10, i * 10 + 1)).collect();
+        let specs: Vec<String> = (0..6)
+            .map(|i| format!("{}-{}", i * 10, i * 10 + 1))
+            .collect();
         let resp = server.handle(&get("/f.bin", Some(&format!("bytes={}", specs.join(",")))));
         assert_eq!(resp.status(), StatusCode::PARTIAL_CONTENT);
     }
@@ -386,7 +439,9 @@ mod tests {
     fn matching_if_none_match_returns_304() {
         let server = server_with("/f.bin", 1000);
         let etag = server.store().get("/f.bin").unwrap().etag().to_string();
-        let req = Request::get("/f.bin").header("If-None-Match", etag.clone()).build();
+        let req = Request::get("/f.bin")
+            .header("If-None-Match", etag.clone())
+            .build();
         let resp = server.handle(&req);
         assert_eq!(resp.status(), StatusCode::NOT_MODIFIED);
         assert!(resp.body().is_empty());
@@ -462,11 +517,54 @@ mod tests {
     }
 
     #[test]
+    fn overloaded_origin_sheds_with_retry_after() {
+        use crate::{OverloadPolicy, OverloadShedder};
+        let mut store = ResourceStore::new();
+        store.add_synthetic("/f.bin", 1_000_000, "x/y");
+        let server =
+            OriginServer::new(store).with_overload(OverloadShedder::new(OverloadPolicy::strict(1)));
+        assert_eq!(
+            server.handle_at(&get("/f.bin", None), 0).status(),
+            StatusCode::OK
+        );
+        // Second request at the same instant: budget of one is occupied.
+        let shed = server.handle_at(&get("/f.bin", None), 0);
+        assert_eq!(shed.status(), StatusCode::SERVICE_UNAVAILABLE);
+        assert_eq!(shed.headers().get("retry-after"), Some("1"));
+        // 1 MB drains in 80 ms at the default rate; afterwards we're
+        // admitted again.
+        let later = server.handle_at(&get("/f.bin", None), 100);
+        assert_eq!(later.status(), StatusCode::OK);
+    }
+
+    #[test]
+    fn shedding_ignores_bodyless_responses() {
+        use crate::{OverloadPolicy, OverloadShedder};
+        let mut store = ResourceStore::new();
+        store.add_synthetic("/f.bin", 1000, "x/y");
+        let server =
+            OriginServer::new(store).with_overload(OverloadShedder::new(OverloadPolicy::strict(1)));
+        let etag = server.store().get("/f.bin").unwrap().etag().to_string();
+        let conditional = Request::get("/f.bin").header("If-None-Match", etag).build();
+        // 304s carry no payload, so they never occupy a transfer slot.
+        for _ in 0..5 {
+            assert_eq!(
+                server.handle_at(&conditional, 0).status(),
+                StatusCode::NOT_MODIFIED
+            );
+        }
+        assert_eq!(server.overload().unwrap().in_flight(0), 0);
+    }
+
+    #[test]
     fn suffix_range_served_from_tail() {
         let server = server_with("/f.bin", 1000);
         let resp = server.handle(&get("/f.bin", Some("bytes=-1")));
         assert_eq!(resp.status(), StatusCode::PARTIAL_CONTENT);
-        assert_eq!(resp.headers().get("content-range"), Some("bytes 999-999/1000"));
+        assert_eq!(
+            resp.headers().get("content-range"),
+            Some("bytes 999-999/1000")
+        );
         assert_eq!(resp.body().len(), 1);
     }
 }

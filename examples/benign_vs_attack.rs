@@ -7,9 +7,7 @@
 //! cargo run --release --example benign_vs_attack
 //! ```
 
-use rangeamp::workload::{
-    evaluate_detector, replay_stream, TinyRangeDetector, WorkloadGenerator,
-};
+use rangeamp::workload::{evaluate_detector, replay_stream, TinyRangeDetector, WorkloadGenerator};
 use rangeamp::{Testbed, TARGET_PATH};
 use rangeamp_cdn::Vendor;
 

@@ -33,7 +33,10 @@ fn main() {
         "  attacker accepts: {:>12} bytes (small TCP receive window)",
         group_digits(report.attacker_bytes)
     );
-    println!("  amplification   : {:>12.0}×", report.amplification_factor());
+    println!(
+        "  amplification   : {:>12.0}×",
+        report.amplification_factor()
+    );
 
     println!();
     println!("all 11 vulnerable cascades (Table V):");

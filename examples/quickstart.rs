@@ -15,7 +15,10 @@ fn main() {
     let ten_mb = 10 * 1024 * 1024;
     let attack = SbrAttack::new(Vendor::Akamai, ten_mb);
 
-    println!("exploited range case: {}", attack.exploited_case().description);
+    println!(
+        "exploited range case: {}",
+        attack.exploited_case().description
+    );
 
     let report = attack.run();
     println!(
@@ -30,7 +33,10 @@ fn main() {
         "origin sent        {:>12} bytes of responses",
         report.traffic.victim_response_bytes
     );
-    println!("amplification      {:>12.0}×", report.amplification_factor());
+    println!(
+        "amplification      {:>12.0}×",
+        report.amplification_factor()
+    );
     println!();
     println!(
         "Paper Table IV reports 16 991× for Akamai at 10 MB; the factor is \

@@ -17,7 +17,11 @@ fn main() {
         &["CDN", "Vulnerable Range Format", "Forwarded Range Format"],
     );
     for row in scanner.scan_table1() {
-        table1.row(vec![row.vendor, row.vulnerable_format, row.forwarded_format]);
+        table1.row(vec![
+            row.vendor,
+            row.vulnerable_format,
+            row.forwarded_format,
+        ]);
     }
     println!("{table1}");
 
@@ -26,7 +30,11 @@ fn main() {
         &["CDN", "Vulnerable Range Format", "Forwarded"],
     );
     for row in scanner.scan_table2() {
-        table2.row(vec![row.vendor, row.vulnerable_format, row.forwarded_format]);
+        table2.row(vec![
+            row.vendor,
+            row.vulnerable_format,
+            row.forwarded_format,
+        ]);
     }
     println!("{table2}");
 

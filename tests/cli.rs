@@ -62,7 +62,10 @@ fn obr_reports_max_n() {
     let output = run(&["obr", "--fcdn", "cdn77", "--bcdn", "azure"]);
     assert!(output.status.success());
     let text = stdout(&output);
-    assert!(text.contains("max n admitted by header limits: 64"), "{text}");
+    assert!(
+        text.contains("max n admitted by header limits: 64"),
+        "{text}"
+    );
     assert!(text.contains("amplification"), "{text}");
 }
 

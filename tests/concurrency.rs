@@ -89,7 +89,10 @@ fn concurrent_requests_to_one_cache_key_stay_consistent() {
     // bodies were correct.
     let (hits, misses) = bed.edge().cache().stats();
     assert!(hits + misses == 40);
-    assert!(hits >= 40 - 8, "at most one miss per racing thread: {hits} hits");
+    assert!(
+        hits >= 40 - 8,
+        "at most one miss per racing thread: {hits} hits"
+    );
 }
 
 #[test]

@@ -48,10 +48,7 @@ fn all_eleven_combos_amplify() {
         // resource.
         let report = ObrAttack::new(fcdn, bcdn).overlapping_ranges(32).run();
         let factor = report.amplification_factor();
-        assert!(
-            factor > 16.0,
-            "{fcdn}→{bcdn}: factor {factor:.1} at n=32"
-        );
+        assert!(factor > 16.0, "{fcdn}→{bcdn}: factor {factor:.1} at n=32");
     }
 }
 
@@ -105,7 +102,10 @@ fn azure_bcdn_is_capped_at_64_parts() {
     let report = ObrAttack::new(Vendor::Cloudflare, Vendor::Azure).run();
     assert_eq!(report.n, 64);
     let factor = report.amplification_factor();
-    assert!((30.0..=80.0).contains(&factor), "paper: ≈53, got {factor:.1}");
+    assert!(
+        (30.0..=80.0).contains(&factor),
+        "paper: ≈53, got {factor:.1}"
+    );
 }
 
 #[test]

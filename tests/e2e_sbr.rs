@@ -60,8 +60,12 @@ fn amplification_is_proportional_to_resource_size() {
 fn azure_amplification_plateaus_past_16mb() {
     // Fig 6a: "when the target resource exceeds 16MB, the amplification
     // factor of Azure will stay unchanged".
-    let f16 = SbrAttack::new(Vendor::Azure, 16 * MB).run().amplification_factor();
-    let f25 = SbrAttack::new(Vendor::Azure, 25 * MB).run().amplification_factor();
+    let f16 = SbrAttack::new(Vendor::Azure, 16 * MB)
+        .run()
+        .amplification_factor();
+    let f25 = SbrAttack::new(Vendor::Azure, 25 * MB)
+        .run()
+        .amplification_factor();
     let growth = f25 / f16;
     assert!(
         growth < 1.1,
@@ -73,8 +77,12 @@ fn azure_amplification_plateaus_past_16mb() {
 fn cloudfront_amplification_plateaus_past_10mb() {
     // Fig 6a: "when the target resource exceeds 10MB, the amplification
     // factor of CloudFront no longer increases".
-    let f10 = SbrAttack::new(Vendor::CloudFront, 10 * MB).run().amplification_factor();
-    let f25 = SbrAttack::new(Vendor::CloudFront, 25 * MB).run().amplification_factor();
+    let f10 = SbrAttack::new(Vendor::CloudFront, 10 * MB)
+        .run()
+        .amplification_factor();
+    let f25 = SbrAttack::new(Vendor::CloudFront, 25 * MB)
+        .run()
+        .amplification_factor();
     let growth = f25 / f10;
     assert!(
         (0.9..=1.1).contains(&growth),
@@ -110,7 +118,12 @@ fn keycdn_produces_the_largest_origin_traffic() {
         .run()
         .traffic
         .victim_response_bytes;
-    for vendor in [Vendor::Akamai, Vendor::Cloudflare, Vendor::Fastly, Vendor::TencentCloud] {
+    for vendor in [
+        Vendor::Akamai,
+        Vendor::Cloudflare,
+        Vendor::Fastly,
+        Vendor::TencentCloud,
+    ] {
         let other = SbrAttack::new(vendor, 10 * MB)
             .run()
             .traffic
@@ -128,8 +141,8 @@ fn client_side_traffic_stays_under_1500_bytes_per_response() {
     // 1500 bytes".
     for vendor in Vendor::ALL {
         let report = SbrAttack::new(vendor, 25 * MB).run();
-        let per_response = report.traffic.attacker_response_bytes
-            / report.traffic.attacker_requests.max(1);
+        let per_response =
+            report.traffic.attacker_response_bytes / report.traffic.attacker_requests.max(1);
         assert!(
             per_response <= 1500,
             "{vendor}: {per_response} bytes per client response"
@@ -139,14 +152,27 @@ fn client_side_traffic_stays_under_1500_bytes_per_response() {
 
 #[test]
 fn huawei_switches_exploited_case_at_10mb() {
-    assert_eq!(exploited_range_case(Vendor::HuaweiCloud, 9 * MB).description, "bytes=-1");
+    assert_eq!(
+        exploited_range_case(Vendor::HuaweiCloud, 9 * MB).description,
+        "bytes=-1"
+    );
     assert_eq!(
         exploited_range_case(Vendor::HuaweiCloud, 10 * MB).description,
         "bytes=0-0"
     );
     // Both regimes actually amplify.
-    assert!(SbrAttack::new(Vendor::HuaweiCloud, 9 * MB).run().amplification_factor() > 1000.0);
-    assert!(SbrAttack::new(Vendor::HuaweiCloud, 12 * MB).run().amplification_factor() > 1000.0);
+    assert!(
+        SbrAttack::new(Vendor::HuaweiCloud, 9 * MB)
+            .run()
+            .amplification_factor()
+            > 1000.0
+    );
+    assert!(
+        SbrAttack::new(Vendor::HuaweiCloud, 12 * MB)
+            .run()
+            .amplification_factor()
+            > 1000.0
+    );
 }
 
 #[test]
@@ -159,7 +185,10 @@ fn azure_origin_traffic_caps_near_16mb() {
         origin > 16 * MB && origin < 17 * MB,
         "Azure origin traffic should cap near 16 MB, got {origin}"
     );
-    assert_eq!(report.traffic.victim_requests, 2, "two back-to-origin connections");
+    assert_eq!(
+        report.traffic.victim_requests, 2,
+        "two back-to-origin connections"
+    );
 }
 
 #[test]

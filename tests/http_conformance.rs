@@ -17,9 +17,12 @@ fn fig2a_single_range_request_round_trips() {
     let raw = b"GET /1KB.jpg HTTP/1.1\r\nHost: example.com\r\nRange: bytes=0-0\r\n\r\n";
     let req = wire::decode_request(raw).expect("valid request");
     assert_eq!(req.uri().path(), "/1KB.jpg");
-    let header = RangeHeader::parse(req.headers().get("range").expect("present"))
-        .expect("valid range");
-    assert_eq!(header.specs(), &[ByteRangeSpec::FromTo { first: 0, last: 0 }]);
+    let header =
+        RangeHeader::parse(req.headers().get("range").expect("present")).expect("valid range");
+    assert_eq!(
+        header.specs(),
+        &[ByteRangeSpec::FromTo { first: 0, last: 0 }]
+    );
     assert_eq!(wire::encode_request(&req), raw);
 }
 
@@ -66,7 +69,10 @@ fn fig2d_multipart_206_shape() {
     assert_eq!(
         parts[1].content_range,
         ContentRange::Satisfied {
-            range: ResolvedRange { first: 998, last: 999 },
+            range: ResolvedRange {
+                first: 998,
+                last: 999
+            },
             complete_length: 1000
         }
     );
@@ -90,7 +96,9 @@ fn servers_without_range_support_return_200_and_no_accept_ranges() {
 fn out_of_bounds_range_returns_416() {
     // Paper §II-B behaviour 3.
     let origin = origin_with("/f.jpg", 1000);
-    let req = Request::get("/f.jpg").header("Range", "bytes=1000-1001").build();
+    let req = Request::get("/f.jpg")
+        .header("Range", "bytes=1000-1001")
+        .build();
     let resp = origin.handle(&req);
     assert_eq!(resp.status(), StatusCode::RANGE_NOT_SATISFIABLE);
     assert_eq!(resp.headers().get("content-range"), Some("bytes */1000"));
@@ -113,9 +121,19 @@ fn range_header_abnf_matrix() {
         let header = RangeHeader::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
         assert_eq!(header.specs().len(), count, "{text}");
     }
-    let invalid = ["bytes=", "bytes=-", "bytes=a-b", "bytes=2-1", "pages=1-2", "0-499"];
+    let invalid = [
+        "bytes=",
+        "bytes=-",
+        "bytes=a-b",
+        "bytes=2-1",
+        "pages=1-2",
+        "0-499",
+    ];
     for text in invalid {
-        assert!(RangeHeader::parse(text).is_err(), "{text} should be rejected");
+        assert!(
+            RangeHeader::parse(text).is_err(),
+            "{text} should be rejected"
+        );
     }
 }
 
@@ -124,12 +142,24 @@ fn rfc7233_satisfiability_rules() {
     // "if the last-byte-pos value is absent, or if the value is greater
     // than or equal to the current length of the representation data, the
     // byte range is interpreted as the remainder of the representation".
-    let spec = ByteRangeSpec::FromTo { first: 500, last: u64::MAX };
-    assert_eq!(spec.resolve(1000), Some(ResolvedRange { first: 500, last: 999 }));
+    let spec = ByteRangeSpec::FromTo {
+        first: 500,
+        last: u64::MAX,
+    };
+    assert_eq!(
+        spec.resolve(1000),
+        Some(ResolvedRange {
+            first: 500,
+            last: 999
+        })
+    );
     // Suffix longer than the representation selects all of it.
     assert_eq!(
         ByteRangeSpec::Suffix { len: 5000 }.resolve(1000),
-        Some(ResolvedRange { first: 0, last: 999 })
+        Some(ResolvedRange {
+            first: 0,
+            last: 999
+        })
     );
     // A suffix of zero length is unsatisfiable.
     assert_eq!(ByteRangeSpec::Suffix { len: 0 }.resolve(1000), None);
@@ -142,7 +172,13 @@ fn multipart_payload_sizes_are_exactly_predictable() {
     for n in [1usize, 2, 64, 500] {
         let mut builder = multipart::MultipartBuilder::new("application/octet-stream", 1024);
         for _ in 0..n {
-            builder = builder.part(ResolvedRange { first: 0, last: 1023 }, body.clone());
+            builder = builder.part(
+                ResolvedRange {
+                    first: 0,
+                    last: 1023,
+                },
+                body.clone(),
+            );
         }
         assert_eq!(builder.encoded_len(), builder.build().len(), "n = {n}");
     }

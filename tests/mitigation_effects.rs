@@ -12,10 +12,12 @@ const MB: u64 = 1024 * 1024;
 fn gcore_slice_fix_reduces_sbr_to_unity() {
     // §VII-A: G-Core "chose to make the 'slice' option enabled by
     // default, which adopts the Laziness policy".
-    let fixed = Vendor::GCoreLabs.profile().with_mitigation(MitigationConfig {
-        force_laziness: true,
-        ..MitigationConfig::none()
-    });
+    let fixed = Vendor::GCoreLabs
+        .profile()
+        .with_mitigation(MitigationConfig {
+            force_laziness: true,
+            ..MitigationConfig::none()
+        });
     let factor = SbrAttack::new(Vendor::GCoreLabs, 10 * MB)
         .with_profile(fixed)
         .run()
@@ -35,7 +37,10 @@ fn cdn77_overlap_detection_kills_obr() {
         })
         .run()
         .amplification_factor();
-    assert!(factor < 2.0, "overlap rejection should kill OBR, got {factor:.1}");
+    assert!(
+        factor < 2.0,
+        "overlap rejection should kill OBR, got {factor:.1}"
+    );
 }
 
 #[test]
@@ -66,7 +71,9 @@ fn defenses_do_not_break_legitimate_range_clients() {
     // A video player resuming at an offset must still get correct bytes
     // under every defense.
     for defense in Defense::ALL {
-        let profile = Vendor::Cloudflare.profile().with_mitigation(defense.config());
+        let profile = Vendor::Cloudflare
+            .profile()
+            .with_mitigation(defense.config());
         let bed = rangeamp::Testbed::builder()
             .profile(profile)
             .resource(rangeamp::TARGET_PATH, MB)
@@ -89,7 +96,12 @@ fn defenses_do_not_break_legitimate_range_clients() {
             .get(rangeamp::TARGET_PATH)
             .expect("resource")
             .slice(1000, 1999);
-        assert_eq!(resp.body().as_bytes(), expected.as_bytes(), "{}", defense.name());
+        assert_eq!(
+            resp.body().as_bytes(),
+            expected.as_bytes(),
+            "{}",
+            defense.name()
+        );
     }
 }
 
@@ -156,10 +168,12 @@ fn laziness_defense_prevents_fig7_saturation() {
 
     // Mitigated run: per-request origin bytes collapse to ~the client
     // bytes, so even 14 req/s is a trickle.
-    let profile = Vendor::Cloudflare.profile().with_mitigation(MitigationConfig {
-        force_laziness: true,
-        ..MitigationConfig::none()
-    });
+    let profile = Vendor::Cloudflare
+        .profile()
+        .with_mitigation(MitigationConfig {
+            force_laziness: true,
+            ..MitigationConfig::none()
+        });
     let probe = SbrAttack::new(Vendor::Cloudflare, 10 * MB)
         .with_profile(profile)
         .run();

@@ -22,7 +22,13 @@ fn table1_every_vendor_is_sbr_vulnerable() {
 #[test]
 fn table1_deletion_vendors_forward_none() {
     let rows = scanner().scan_table1();
-    for vendor in ["Akamai", "Fastly", "G-Core Labs", "Cloudflare", "Tencent Cloud"] {
+    for vendor in [
+        "Akamai",
+        "Fastly",
+        "G-Core Labs",
+        "Cloudflare",
+        "Tencent Cloud",
+    ] {
         let vendor_rows: Vec<_> = rows.iter().filter(|r| r.vendor == vendor).collect();
         assert!(
             vendor_rows.iter().any(|r| r.forwarded_format == "None"),

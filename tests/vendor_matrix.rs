@@ -44,13 +44,28 @@ const MATRIX: &[(&str, &str, u64, &[&str])] = &[
     // ---- size-conditional behaviours ----
     ("Huawei Cloud", "bytes=0-0", 12 * MB, &["<none>", "<none>"]),
     ("Huawei Cloud", "bytes=-1", 12 * MB, &["="]),
-    ("Azure", "bytes=8388608-8388608", 25 * MB, &["<none>", "bytes=8388608-16777215"]),
+    (
+        "Azure",
+        "bytes=8388608-8388608",
+        25 * MB,
+        &["<none>", "bytes=8388608-16777215"],
+    ),
     ("Azure", "bytes=0-0", 25 * MB, &["<none>"]),
     ("CDN77", "bytes=1500-1500", MB, &["="]),
     ("CDNsun", "bytes=1-1", MB, &["="]),
     // ---- CloudFront expansion arithmetic ----
-    ("CloudFront", "bytes=0-0,9437184-9437184", 25 * MB, &["bytes=0-10485759"]),
-    ("CloudFront", "bytes=2097152-3145728", 25 * MB, &["bytes=2097152-4194303"]),
+    (
+        "CloudFront",
+        "bytes=0-0,9437184-9437184",
+        25 * MB,
+        &["bytes=0-10485759"],
+    ),
+    (
+        "CloudFront",
+        "bytes=2097152-3145728",
+        25 * MB,
+        &["bytes=2097152-4194303"],
+    ),
     // ---- multi-range forwarding (Table II) at 4 KB ----
     ("CDN77", "bytes=0-,0-,0-", 4096, &["="]),
     ("CDNsun", "bytes=1-,0-,0-", 4096, &["="]),

@@ -1,0 +1,189 @@
+//! Vendored stand-in for the `bytes` crate: a cheaply cloneable,
+//! contiguous byte buffer with zero-copy slicing, backed by `Arc<[u8]>`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable immutable byte buffer. Clones and sub-slices
+/// share the same backing allocation.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub fn new() -> Bytes {
+        Bytes::from_static(b"")
+    }
+
+    /// Creates a `Bytes` from a static slice.
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes {
+            data: Arc::from(bytes),
+            start: 0,
+            end: bytes.len(),
+        }
+    }
+
+    /// Copies `bytes` into a freshly allocated buffer.
+    pub fn copy_from_slice(bytes: &[u8]) -> Bytes {
+        Bytes {
+            data: Arc::from(bytes),
+            start: 0,
+            end: bytes.len(),
+        }
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns a sub-slice sharing the backing storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or inverted, matching the
+    /// real `bytes` crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n.checked_add(1).expect("range end overflow"),
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            begin <= end,
+            "range start must not be greater than end: {begin} > {end}"
+        );
+        assert!(end <= len, "range end out of bounds: {end} > {len}");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    /// The buffer contents as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(vec: Vec<u8>) -> Bytes {
+        let len = vec.len();
+        Bytes {
+            data: Arc::from(vec),
+            start: 0,
+            end: len,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(bytes: &'static [u8]) -> Bytes {
+        Bytes::from_static(bytes)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(text: &'static str) -> Bytes {
+        Bytes::from_static(text.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(text: String) -> Bytes {
+        Bytes::from(text.into_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_shares_storage_and_respects_bounds() {
+        let all = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        assert_eq!(all.len(), 6);
+        let mid = all.slice(2..5);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        let inclusive = all.slice(1..=2);
+        assert_eq!(&inclusive[..], &[1, 2]);
+        assert_eq!(all.slice(..).len(), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_slice_panics() {
+        Bytes::from(vec![0u8; 4]).slice(2..10);
+    }
+}

@@ -1,0 +1,58 @@
+//! Vendored stand-in for `crossbeam`, backed by `std::thread::scope`.
+//!
+//! Only `crossbeam::thread::scope` / `Scope::spawn` are provided, with
+//! crossbeam's signatures (the spawn closure receives the scope so it
+//! can spawn nested threads).
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread support mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope, like
+        /// crossbeam's API, so nested spawning works.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope in which threads that borrow from the environment
+    /// can be spawned; all are joined before `scope` returns.
+    ///
+    /// `std::thread::scope` propagates child panics as a panic in the
+    /// parent, so the `Err` arm is never produced here; the `Result`
+    /// wrapper only preserves crossbeam's signature.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_observe_borrows() {
+        let counter = std::sync::atomic::AtomicU32::new(0);
+        super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst));
+            }
+        })
+        .expect("no thread panicked");
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,769 @@
+//! Vendored stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses: the
+//! `proptest!` macro (with optional `#![proptest_config(...)]`),
+//! `Strategy` with `prop_map`/`prop_flat_map`/`boxed`, integer/float
+//! range strategies, a regex-subset string strategy, `Just`, tuples,
+//! `prop_oneof!`, `collection::vec`, `option::of`, `any::<T>()`, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from real proptest: no shrinking (a failure reports the
+//! case seed instead of a minimal input), and case generation is
+//! deterministic per test (seeded from the test's module path), which
+//! suits this repo's reproducibility-first testbed.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic RNG used to drive all strategies (splitmix64).
+pub mod rng {
+    /// Deterministic source of randomness for one test case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a 64-bit seed.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        /// Draws the next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, n)`; returns 0 when `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+
+        /// Uniform draw in `[lo, hi)`.
+        pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+            let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            lo + unit * (hi - lo)
+        }
+    }
+}
+
+/// Runner configuration and failure types.
+pub mod test_runner {
+    /// Number of cases to run per property (`ProptestConfig` in the
+    /// prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// How many successful cases each property must produce.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Outcome of a single failing or rejected test case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property was violated.
+        Fail(String),
+        /// The case was rejected by `prop_assume!`.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds the failure variant.
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// Builds the rejection variant.
+        pub fn reject(message: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(message.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "property failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+            }
+        }
+    }
+
+    /// Result of one test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// The `Strategy` trait and combinators.
+pub mod strategy {
+    use crate::rng::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `map`.
+        fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, map }
+        }
+
+        /// Generates a value, then generates from the strategy it maps to.
+        fn prop_flat_map<S, F>(self, map: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, map }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe core used by [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of its value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.map)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S, F, S2> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.map)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice between alternative strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `options`; must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let index = rng.below(self.options.len() as u64) as usize;
+            self.options[index].generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end - start) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    start + rng.below(span + 1) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            rng.f64_in(self.start, self.end)
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_matching(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+}
+
+/// Regex-subset string generation backing `&str` strategies.
+pub mod string {
+    use crate::rng::TestRng;
+
+    enum CharSet {
+        Literal(char),
+        Class(Vec<char>),
+        Any,
+    }
+
+    struct Atom {
+        set: CharSet,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates a string matching `pattern`, a subset of regex syntax:
+    /// literals, `.`, character classes with ranges, and the quantifiers
+    /// `{n}`, `{n,m}`, `?`, `*`, `+`.
+    pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+        let atoms = parse(pattern);
+        let mut out = String::new();
+        for atom in &atoms {
+            let span = (atom.max - atom.min) as u64;
+            let count = atom.min + rng.below(span + 1) as usize;
+            for _ in 0..count {
+                out.push(pick(&atom.set, rng));
+            }
+        }
+        out
+    }
+
+    fn pick(set: &CharSet, rng: &mut TestRng) -> char {
+        match set {
+            CharSet::Literal(c) => *c,
+            CharSet::Class(choices) => choices[rng.below(choices.len() as u64) as usize],
+            CharSet::Any => {
+                // Mostly printable ASCII, with occasional control and
+                // non-ASCII characters to stress parsers.
+                const EXTRAS: [char; 4] = ['\t', '\0', '\u{7f}', 'é'];
+                if rng.below(16) == 0 {
+                    EXTRAS[rng.below(EXTRAS.len() as u64) as usize]
+                } else {
+                    char::from(0x20 + rng.below(0x5f) as u8)
+                }
+            }
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1, pattern);
+                    i = next;
+                    set
+                }
+                '.' => {
+                    i += 1;
+                    CharSet::Any
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars
+                        .get(i)
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                    i += 1;
+                    CharSet::Literal(c)
+                }
+                c => {
+                    i += 1;
+                    CharSet::Literal(c)
+                }
+            };
+            let (min, max, next) = parse_quantifier(&chars, i, pattern);
+            i = next;
+            atoms.push(Atom { set, min, max });
+        }
+        atoms
+    }
+
+    fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (CharSet, usize) {
+        let mut choices = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            let c = *chars
+                .get(i)
+                .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+            match c {
+                ']' => return (CharSet::Class(choices), i + 1),
+                '-' if prev.is_some() && chars.get(i + 1).is_some_and(|&n| n != ']') => {
+                    let lo = prev.expect("checked above");
+                    let hi = chars[i + 1];
+                    assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+                    for code in (lo as u32)..=(hi as u32) {
+                        if let Some(ch) = char::from_u32(code) {
+                            if ch != lo {
+                                choices.push(ch);
+                            }
+                        }
+                    }
+                    prev = None;
+                    i += 2;
+                }
+                c => {
+                    choices.push(c);
+                    prev = Some(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+        match chars.get(i) {
+            Some('?') => (0, 1, i + 1),
+            Some('*') => (0, 8, i + 1),
+            Some('+') => (1, 8, i + 1),
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|offset| i + offset)
+                    .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier lower bound"),
+                        hi.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                };
+                (min, max, close + 1)
+            }
+            _ => (1, 1, i),
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors of values from `element` with `size` elements.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "empty size range");
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Strategy yielding `None` or `Some` of the inner strategy.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Option<S::Value>` with equal probability of `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(2) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy type produced by [`any`].
+        type Strategy: Strategy<Value = Self>;
+
+        /// The canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Whole-domain strategy for primitive types.
+    pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+    /// Returns the canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for AnyStrategy<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = AnyStrategy<$t>;
+
+                fn arbitrary() -> AnyStrategy<$t> {
+                    AnyStrategy(std::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl Strategy for AnyStrategy<bool> {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.below(2) == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyStrategy<bool>;
+
+        fn arbitrary() -> AnyStrategy<bool> {
+            AnyStrategy(std::marker::PhantomData)
+        }
+    }
+}
+
+/// Everything a `proptest!` test needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// FNV-1a hash used to derive a per-test deterministic seed.
+#[doc(hidden)]
+pub fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Defines property tests. Mirrors proptest's macro: an optional
+/// `#![proptest_config(...)]` inner attribute followed by `fn` items
+/// whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!(($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let __seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            let mut __passed = 0u32;
+            let mut __attempt = 0u64;
+            while __passed < __config.cases {
+                __attempt += 1;
+                if __attempt > u64::from(__config.cases) * 10 + 100 {
+                    break; // Too many prop_assume! rejections; give up quietly.
+                }
+                let mut __rng = $crate::rng::TestRng::new(
+                    __seed ^ __attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __passed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case failed (attempt {} of test {}): {}",
+                            __attempt,
+                            stringify!($name),
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_cases!(($config); $($rest)*);
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Asserts a condition, failing the current case (not panicking) so the
+/// runner can report the generating seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality, failing the current case with both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            __left == __right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), __left, __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            __left == __right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`): {}",
+            stringify!($left), stringify!($right), __left, __right, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discards the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = crate::rng::TestRng::new(3);
+        for _ in 0..200 {
+            let s = crate::string::generate_matching("bytes=[-,0-9 ]{0,64}", &mut rng);
+            assert!(s.starts_with("bytes="), "{s:?}");
+            assert!(s.len() <= "bytes=".len() + 64);
+            assert!(
+                s["bytes=".len()..]
+                    .chars()
+                    .all(|c| matches!(c, '-' | ',' | '0'..='9' | ' ')),
+                "{s:?}"
+            );
+            let t = crate::string::generate_matching("[A-Za-z][A-Za-z0-9-]{0,12}", &mut rng);
+            assert!(t.chars().next().expect("non-empty").is_ascii_alphabetic());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = (0u64..1000).prop_flat_map(|lo| (Just(lo), lo..1000u64));
+        let a: Vec<_> = {
+            let mut rng = crate::rng::TestRng::new(42);
+            (0..50).map(|_| strat.generate(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = crate::rng::TestRng::new(42);
+            (0..50).map(|_| strat.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+        for (lo, hi) in a {
+            assert!(lo <= hi && hi < 1000);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_round_trip(x in 0u64..100, v in crate::collection::vec(0u8..10, 1..5)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len());
+            let choice = prop_oneof![Just(1u8), Just(2u8)];
+            let mut rng = crate::rng::TestRng::new(x);
+            let picked = choice.generate(&mut rng);
+            prop_assert!(picked == 1 || picked == 2);
+        }
+    }
+}

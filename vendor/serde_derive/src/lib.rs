@@ -1,0 +1,186 @@
+//! Vendored `#[derive(Serialize)]`, written against `proc_macro` alone
+//! (no syn/quote available offline). It supports what this workspace
+//! derives on: non-generic structs with named fields, and enums whose
+//! variants are unit or single-field newtypes. Output follows serde's
+//! externally-tagged convention: structs become objects in field order,
+//! unit variants become their name as a string, newtype variants become
+//! a single-entry object.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(code) => code.parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected struct or enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("derive(Serialize) shim does not support generic types".to_string());
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => group.stream(),
+        other => return Err(format!("expected braced body, found {other:?}")),
+    };
+
+    match kind.as_str() {
+        "struct" => expand_struct(&name, body),
+        "enum" => expand_enum(&name, body),
+        other => Err(format!("cannot derive Serialize for `{other}` items")),
+    }
+}
+
+fn expand_struct(name: &str, body: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field, found {other:?}")),
+        }
+        skip_type_until_comma(&tokens, &mut i);
+        fields.push(field);
+    }
+
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))")
+        })
+        .collect();
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{}])\n\
+             }}\n\
+         }}",
+        entries.join(", ")
+    ))
+}
+
+fn expand_enum(name: &str, body: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut arms = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match &tokens[i] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                arms.push(format!(
+                    "{name}::{variant}(__field0) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from({variant:?}), \
+                          ::serde::Serialize::to_value(__field0))])"
+                ));
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "derive(Serialize) shim does not support struct variant `{variant}`"
+                ));
+            }
+            _ => {
+                arms.push(format!(
+                    "{name}::{variant} => \
+                         ::serde::Value::Str(::std::string::String::from({variant:?}))"
+                ));
+            }
+        }
+        // Consume up to and including the separating comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {} }}\n\
+             }}\n\
+         }}",
+        arms.join(", ")
+    ))
+}
+
+/// Advances past `#[...]` attributes (including doc comments) and
+/// `pub` / `pub(...)` visibility markers.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Advances past a type, stopping after the field-separating comma (or
+/// at end of input). Commas nested inside `<...>` are not separators.
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
