@@ -3,6 +3,8 @@
 //! resource sweeps 1..=25 MB for all 13 vendors. Output is one CSV block
 //! per sub-figure, ready for plotting.
 //!
+//! Pass `--json <path>` to also write the sweep points as JSON.
+//!
 //! ```text
 //! cargo run -p rangeamp-bench --release --bin fig6
 //! ```
@@ -78,4 +80,5 @@ fn main() {
             .map(|v| factor_at(v.name(), 25))
             .fold(0.0f64, f64::max)
     );
+    rangeamp_bench::maybe_write_json(&points);
 }

@@ -3,6 +3,8 @@
 //! requests per second for 30 seconds (10 MB resource, 1000 Mbps origin
 //! uplink). Prints a summary table plus one CSV block per sub-figure.
 //!
+//! Pass `--json <path>` to also write the rows as JSON.
+//!
 //! ```text
 //! cargo run -p rangeamp-bench --release --bin fig7
 //! ```
@@ -52,4 +54,5 @@ fn main() {
         rangeamp_bench::paper::FIG7_EXHAUSTION_M,
         rangeamp_bench::paper::FIG7_CLIENT_KBPS_BOUND,
     );
+    rangeamp_bench::maybe_write_json(&reports);
 }

@@ -1,17 +1,49 @@
 //! Prints the per-vendor retry-amplification table: the SBR campaign
 //! re-run under a deterministic flaky-origin fault schedule, reporting
 //! how much extra back-to-origin traffic each vendor's retry policy
-//! generates on top of the range amplification itself.
+//! generates on top of the range amplification itself — plus the
+//! resilience-layer counters (stale serves, breaker opens) and the
+//! edge-cache hit/miss split behind each row.
 //!
 //! The fault schedule, backoff clock and vendor order are all
 //! deterministic — the same build prints byte-identical output on every
 //! run.
 //!
+//! Optional flags:
+//!
+//! * `--trace <path>` — record every round's hop spans and write them as
+//!   Chrome trace-event JSON (Perfetto-loadable); also writes the
+//!   campaign metrics snapshot as `<path>.metrics.jsonl`.
+//! * `--json <path>` — write the per-vendor reports as JSON.
+//! * `--seed <n>` — override the campaign seed (default is the built-in
+//!   deterministic seed).
+//!
 //! ```text
-//! cargo run -p rangeamp-bench --release --bin retry_amp
+//! cargo run -p rangeamp-bench --release --bin retry_amp -- \
+//!     --trace retry_amp.trace.json --json retry_amp.json
 //! ```
 
+use rangeamp::chaos::{run_sbr_campaign_with, ChaosConfig};
+use rangeamp::Telemetry;
+use rangeamp_bench::{arg_value, maybe_write_json, retry_amp_json, write_output};
+
 fn main() {
-    let reports = rangeamp_bench::retry_amp_reports();
+    let mut config = ChaosConfig::default();
+    if let Some(seed) = arg_value("--seed") {
+        config.seed = seed.parse().expect("--seed takes an integer");
+    }
+    let trace_path = arg_value("--trace");
+    let telemetry = trace_path.as_ref().map(|_| Telemetry::seeded(config.seed));
+
+    let reports = run_sbr_campaign_with(&config, telemetry.as_ref());
     println!("{}", rangeamp_bench::render_retry_amp(&reports));
+
+    if let (Some(path), Some(tel)) = (&trace_path, &telemetry) {
+        write_output(path, &tel.tracer().chrome_trace_json());
+        write_output(
+            &format!("{path}.metrics.jsonl"),
+            &tel.metrics().snapshot().to_jsonl(),
+        );
+    }
+    maybe_write_json(&retry_amp_json(&reports));
 }

@@ -1,6 +1,8 @@
 //! Regenerates Table I: range forwarding behaviours vulnerable to the
 //! SBR attack, derived by the vulnerability scanner.
 //!
+//! Pass `--json <path>` to also write the rows as JSON.
+//!
 //! ```text
 //! cargo run -p rangeamp-bench --release --bin table1
 //! ```
@@ -13,4 +15,5 @@ fn main() {
         rows.len(),
         rows.iter().map(|r| r.vendor.clone()).collect::<std::collections::BTreeSet<_>>().len(),
     );
+    rangeamp_bench::maybe_write_json(&rows);
 }

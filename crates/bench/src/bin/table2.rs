@@ -1,6 +1,8 @@
 //! Regenerates Table II: multi-range forwarding behaviours vulnerable to
 //! the OBR attack (FCDN eligibility), derived by the scanner.
 //!
+//! Pass `--json <path>` to also write the rows as JSON.
+//!
 //! ```text
 //! cargo run -p rangeamp-bench --release --bin table2
 //! ```
@@ -12,4 +14,5 @@ fn main() {
         "{} FCDN-eligible vendors — the paper finds 4 (CDN77, CDNsun, Cloudflare, StackPath).",
         rows.len()
     );
+    rangeamp_bench::maybe_write_json(&rows);
 }

@@ -1,6 +1,8 @@
 //! Regenerates Table III: multi-range replying behaviours vulnerable to
 //! the OBR attack (BCDN eligibility), derived by the scanner.
 //!
+//! Pass `--json <path>` to also write the rows as JSON.
+//!
 //! ```text
 //! cargo run -p rangeamp-bench --release --bin table3
 //! ```
@@ -12,4 +14,5 @@ fn main() {
         "{} BCDN-eligible vendors — the paper finds 3 (Akamai, Azure, StackPath).",
         rows.len()
     );
+    rangeamp_bench::maybe_write_json(&rows);
 }

@@ -1,6 +1,8 @@
 //! Regenerates Table IV: SBR amplification factors at 1, 10 and 25 MB
 //! for every vendor, printed beside the paper's published values.
 //!
+//! Pass `--json <path>` to also write the rows as JSON.
+//!
 //! ```text
 //! cargo run -p rangeamp-bench --release --bin table4
 //! ```
@@ -8,4 +10,5 @@
 fn main() {
     let points = rangeamp_bench::sbr_points(&[1, 10, 25]);
     println!("{}", rangeamp_bench::render_table4(&points));
+    rangeamp_bench::maybe_write_json(&points);
 }

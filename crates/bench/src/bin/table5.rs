@@ -1,6 +1,8 @@
 //! Regenerates Table V: the maximum OBR amplification factor for each of
 //! the 11 cascaded CDN combinations, with the solver-derived max n.
 //!
+//! Pass `--json <path>` to also write the rows as JSON.
+//!
 //! ```text
 //! cargo run -p rangeamp-bench --release --bin table5
 //! ```
@@ -8,4 +10,5 @@
 fn main() {
     let measurements = rangeamp_bench::table5_measurements();
     println!("{}", rangeamp_bench::render_table5(&measurements));
+    rangeamp_bench::maybe_write_json(&measurements);
 }

@@ -14,10 +14,10 @@ pub mod paper;
 use rangeamp::attack::{
     obr_combos, FloodExperiment, FloodReport, ObrAttack, ObrMeasurement, SbrAttack,
 };
-use rangeamp::chaos::{run_sbr_campaign, ChaosConfig, VendorChaosReport};
+use rangeamp::chaos::{run_sbr_campaign, run_sbr_campaign_with, ChaosConfig, VendorChaosReport};
 use rangeamp::report::{group_digits, TextTable};
 use rangeamp::scanner::{Scanner, Table1Row, Table2Row, Table3Row};
-use rangeamp::{Testbed, TARGET_PATH};
+use rangeamp::{Telemetry, Testbed, TARGET_PATH};
 use rangeamp_cdn::Vendor;
 use rangeamp_origin::ResourceStore;
 use serde::Serialize;
@@ -252,6 +252,13 @@ pub fn retry_amp_reports() -> Vec<VendorChaosReport> {
     run_sbr_campaign(&ChaosConfig::default())
 }
 
+/// [`retry_amp_reports`] with an optional telemetry bundle: every round
+/// of every vendor's run is traced, and the campaign publishes its
+/// per-vendor gauges/counters into the bundle's metrics registry.
+pub fn retry_amp_reports_with(telemetry: Option<&Telemetry>) -> Vec<VendorChaosReport> {
+    run_sbr_campaign_with(&ChaosConfig::default(), telemetry)
+}
+
 /// Renders the per-vendor retry-amplification table: how much extra
 /// origin-side traffic each vendor's retry policy generates when the
 /// exploited SBR fetches fail and get retried.
@@ -268,6 +275,9 @@ pub fn render_retry_amp(reports: &[VendorChaosReport]) -> TextTable {
             "Origin bytes",
             "Retry bytes",
             "Retry-amp",
+            "Retries/req",
+            "Cache h/m",
+            "Cache hit",
             "Availability",
         ],
     );
@@ -282,10 +292,84 @@ pub fn render_retry_amp(reports: &[VendorChaosReport]) -> TextTable {
             group_digits(report.origin.response_bytes),
             group_digits(report.resilience.retry_response_bytes),
             format!("{:.3}x", report.retry_amplification()),
+            format!("{:.3}", report.retries_per_request()),
+            format!("{}/{}", report.cache_hits, report.cache_misses),
+            format!("{:.1}%", report.cache_hit_ratio() * 100.0),
             format!("{:.1}%", report.availability() * 100.0),
         ]);
     }
     table
+}
+
+/// Serialises retry-amplification reports as a JSON array (the report
+/// structs live in crates that deliberately stay serde-free, so the
+/// shape is assembled here).
+pub fn retry_amp_json(reports: &[VendorChaosReport]) -> serde_json::Value {
+    serde_json::Value::Array(
+        reports
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "vendor": r.vendor.name(),
+                    "rounds": r.rounds,
+                    "attempts": r.resilience.attempts,
+                    "retries": r.resilience.retries,
+                    "breaker_opens": r.breaker_opens,
+                    "stale_serves": r.resilience.stale_serves,
+                    "client_errors": r.client_errors,
+                    "origin_response_bytes": r.origin.response_bytes,
+                    "retry_response_bytes": r.resilience.retry_response_bytes,
+                    "retry_amplification": r.retry_amplification(),
+                    "retries_per_request": r.retries_per_request(),
+                    "cache_hits": r.cache_hits,
+                    "cache_misses": r.cache_misses,
+                    "cache_hit_ratio": r.cache_hit_ratio(),
+                    "availability": r.availability(),
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Returns the value following `flag` on the command line, accepting
+/// both `--flag value` and `--flag=value` spellings.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == flag {
+            return args.next();
+        }
+        if let Some(rest) = arg.strip_prefix(flag) {
+            if let Some(value) = rest.strip_prefix('=') {
+                return Some(value.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Writes `contents` to `path` verbatim, creating parent directories as
+/// needed, and notes the write on stderr (stdout stays reserved for the
+/// deterministic experiment text).
+pub fn write_output(path: &str, contents: &str) {
+    let path = std::path::Path::new(path);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("can create output dir");
+        }
+    }
+    std::fs::write(path, contents).expect("output path is writable");
+    eprintln!("wrote {}", path.display());
+}
+
+/// If the command line carries `--json <path>`, serialises `value` as
+/// pretty-printed JSON to that path. The printed text output is
+/// unaffected, so existing golden outputs stay byte-identical.
+pub fn maybe_write_json<T: Serialize>(value: &T) {
+    if let Some(path) = arg_value("--json") {
+        let json = serde_json::to_string_pretty(value).expect("serializable");
+        write_output(&path, &json);
+    }
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@ use std::sync::Arc;
 
 use rangeamp_http::range::{coalesce, ByteRangeSpec, RangeHeader};
 use rangeamp_http::{Request, Response, StatusCode};
-use rangeamp_net::{Segment, SharedClock};
+use rangeamp_net::{Segment, SharedClock, SpanKind, Telemetry};
 
 use crate::assemble;
 use crate::vendor::{self, MissCtx, MissReply, MissResult, VendorProfile};
@@ -23,6 +23,7 @@ pub struct EdgeNode {
     upstream: Arc<dyn UpstreamService>,
     segment: Segment,
     resilience: Resilience,
+    telemetry: Option<Telemetry>,
 }
 
 impl EdgeNode {
@@ -45,6 +46,7 @@ impl EdgeNode {
             upstream,
             segment,
             resilience,
+            telemetry: None,
         }
     }
 
@@ -61,6 +63,21 @@ impl EdgeNode {
     pub fn with_cache(mut self, cache: Cache) -> EdgeNode {
         self.cache = cache;
         self
+    }
+
+    /// Attaches a telemetry bundle. Every request handled afterwards
+    /// records hop spans (edge handling, cache lookup, upstream fetch
+    /// attempts, breaker transitions, serve-stale) and metrics. Tracing
+    /// never touches the HTTP messages themselves, so byte counts on the
+    /// metered segments are identical with and without telemetry.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> EdgeNode {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The attached telemetry bundle, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
     }
 
     /// The vendor profile in force.
@@ -102,7 +119,47 @@ impl EdgeNode {
         self.handle_inner(req, backend_truncate)
     }
 
+    /// Telemetry wrapper around the pipeline: opens the per-tier edge
+    /// span, runs [`handle_core`](EdgeNode::handle_core), then records
+    /// the outcome. Observation only — the request and response are the
+    /// ones the untraced path would produce, byte for byte.
     fn handle_inner(&self, req: &Request, backend_truncate: Option<u64>) -> Response {
+        let Some(tel) = &self.telemetry else {
+            return self.handle_core(req, backend_truncate);
+        };
+        let vendor = self.profile.vendor.to_string();
+        let clock = self.resilience.clock().clone();
+        let mut span = tel
+            .tracer()
+            .start_span("edge-handle", SpanKind::Edge, clock.now_millis());
+        span.attr("vendor", vendor.clone());
+        span.attr("uri", req.uri().to_string());
+        if let Some(range) = req.headers().get("range") {
+            span.attr("range", range);
+        }
+        span.add_bytes_in(req.wire_len());
+
+        let resp = self.handle_core(req, backend_truncate);
+
+        span.add_bytes_out(resp.wire_len());
+        span.attr("status", resp.status().as_u16().to_string());
+        // finish() appended this edge's X-Cache last; earlier values (if
+        // any) belong to upstream tiers of a cascade.
+        let cache_state = resp
+            .headers()
+            .get_all("x-cache")
+            .last()
+            .and_then(|v| v.split(' ').next())
+            .unwrap_or("-")
+            .to_string();
+        span.attr("cache", cache_state);
+        span.finish(clock.now_millis());
+        tel.metrics()
+            .counter_add("edge_requests_total", &[("vendor", &vendor)], 1);
+        resp
+    }
+
+    fn handle_core(&self, req: &Request, backend_truncate: Option<u64>) -> Response {
         // 0. Forwarding-loop detection (RFC 7230 §5.7.1 Via; cf. the
         //    forwarding-loop attacks discussed in the paper's §VIII).
         let via_token = self.profile.via_token();
@@ -168,7 +225,22 @@ impl EdgeNode {
         let cache_key = Cache::key(&host, &req.uri().to_string());
         if self.profile.cache_enabled {
             let now_ms = self.resilience.clock().now_millis();
-            if let Some(entry) = self.cache.get_at(&cache_key, now_ms) {
+            let looked_up = self.cache.get_at(&cache_key, now_ms);
+            if let Some(tel) = &self.telemetry {
+                let result = if looked_up.is_some() { "hit" } else { "miss" };
+                let vendor = self.profile.vendor.to_string();
+                let mut span =
+                    tel.tracer()
+                        .start_span("cache-lookup", SpanKind::CacheLookup, now_ms);
+                span.attr("result", result);
+                span.finish(now_ms);
+                tel.metrics().counter_add(
+                    "cache_lookups_total",
+                    &[("vendor", &vendor), ("result", result)],
+                    1,
+                );
+            }
+            if let Some(entry) = looked_up {
                 let resp = assemble::serve_from_full(
                     range.as_ref(),
                     &entry.response,
@@ -190,6 +262,7 @@ impl EdgeNode {
             backend_truncate,
             via_token: &via_token,
             resilience: &self.resilience,
+            telemetry: self.telemetry.as_ref(),
         };
         let outcome = self.handle_miss_with_mitigation(&mut ctx);
 
@@ -248,6 +321,17 @@ impl EdgeNode {
         if resp.status().as_u16() >= 500 && self.profile.cache_enabled {
             if let Some(entry) = self.cache.get_stale(&cache_key) {
                 self.resilience.with_stats(|s| s.stale_serves += 1);
+                if let Some(tel) = &self.telemetry {
+                    let now_ms = self.resilience.clock().now_millis();
+                    let vendor = self.profile.vendor.to_string();
+                    let mut span =
+                        tel.tracer()
+                            .start_span("serve-stale", SpanKind::ServeStale, now_ms);
+                    span.attr("upstream_status", resp.status().as_u16().to_string());
+                    span.finish(now_ms);
+                    tel.metrics()
+                        .counter_add("stale_serves_total", &[("vendor", &vendor)], 1);
+                }
                 let mut stale = assemble::serve_from_full(
                     range.as_ref(),
                     &entry.response,

@@ -29,7 +29,7 @@ use std::fmt;
 
 use rangeamp_http::range::RangeHeader;
 use rangeamp_http::{Request, Response, StatusCode};
-use rangeamp_net::Segment;
+use rangeamp_net::{Segment, SpanKind, Telemetry};
 
 use crate::resilience::{Resilience, RetryPolicy};
 use crate::{
@@ -250,6 +250,8 @@ pub struct MissCtx<'a> {
     pub(crate) via_token: &'a str,
     /// The node's retry/breaker machinery, consulted on every fetch.
     pub(crate) resilience: &'a Resilience,
+    /// Telemetry bundle for hop spans + metrics, when tracing is on.
+    pub(crate) telemetry: Option<&'a Telemetry>,
 }
 
 impl fmt::Debug for MissCtx<'_> {
@@ -318,10 +320,49 @@ impl MissCtx<'_> {
         loop {
             if !resilience.allow_request() {
                 resilience.with_stats(|s| s.breaker_short_circuits += 1);
+                if let Some(tel) = self.telemetry {
+                    let now = resilience.clock().now_millis();
+                    let segment = self.segment.name().to_string();
+                    let mut span = tel.tracer().start_span(
+                        "breaker-short-circuit",
+                        SpanKind::BreakerTransition,
+                        now,
+                    );
+                    span.attr("segment", segment.clone());
+                    span.attr("state", resilience.breaker_state());
+                    span.finish(now);
+                    tel.metrics().counter_add(
+                        "breaker_short_circuits_total",
+                        &[("segment", &segment)],
+                        1,
+                    );
+                }
                 return Err(UpstreamError::CircuitOpen);
             }
             attempt += 1;
             let before = self.segment.stats();
+            let span = self.telemetry.map(|tel| {
+                let mut span = tel.tracer().start_span(
+                    if attempt > 1 {
+                        "upstream-retry"
+                    } else {
+                        "upstream-fetch"
+                    },
+                    if attempt > 1 {
+                        SpanKind::RetryAttempt
+                    } else {
+                        SpanKind::Hop
+                    },
+                    resilience.clock().now_millis(),
+                );
+                span.attr("segment", self.segment.name().to_string());
+                span.attr("attempt", attempt.to_string());
+                span.attr(
+                    "range",
+                    range.map_or_else(|| "deleted".to_string(), RangeHeader::to_string),
+                );
+                span
+            });
             let outcome = self.fetch_once(range, payload_limit);
             if attempt > 1 {
                 let after = self.segment.stats();
@@ -329,6 +370,32 @@ impl MissCtx<'_> {
                     s.retry_request_bytes += after.request_bytes - before.request_bytes;
                     s.retry_response_bytes += after.response_bytes - before.response_bytes;
                 });
+            }
+            if let (Some(mut span), Some(tel)) = (span, self.telemetry) {
+                let after = self.segment.stats();
+                let req_bytes = after.request_bytes - before.request_bytes;
+                let resp_bytes = after.response_bytes - before.response_bytes;
+                span.add_bytes_out(req_bytes);
+                span.add_bytes_in(resp_bytes);
+                match &outcome {
+                    Ok(resp) => span.attr("status", resp.status().as_u16().to_string()),
+                    Err(err) => span.attr("error", err.to_string()),
+                }
+                span.finish(resilience.clock().now_millis());
+                let segment = self.segment.name().to_string();
+                tel.metrics()
+                    .counter_add("upstream_attempts_total", &[("segment", &segment)], 1);
+                if attempt > 1 {
+                    tel.metrics().counter_add(
+                        "upstream_retries_total",
+                        &[("segment", &segment)],
+                        1,
+                    );
+                }
+                tel.metrics()
+                    .observe("hop_request_bytes", &[("segment", &segment)], req_bytes);
+                tel.metrics()
+                    .observe("hop_response_bytes", &[("segment", &segment)], resp_bytes);
             }
             resilience.with_stats(|s| s.attempts += 1);
             // An upstream 5xx is a failed exchange for resilience purposes
@@ -338,10 +405,10 @@ impl MissCtx<'_> {
                 Err(_) => true,
             };
             if !failed {
-                resilience.record_success();
+                self.record_breaker_outcome(true);
                 return outcome;
             }
-            resilience.record_failure();
+            self.record_breaker_outcome(false);
             resilience.with_stats(|s| s.upstream_failures += 1);
             let retryable = match &outcome {
                 Ok(_) => true,
@@ -354,6 +421,38 @@ impl MissCtx<'_> {
             resilience
                 .clock()
                 .advance_millis(policy.backoff_ms(attempt - 1));
+        }
+    }
+
+    /// Feeds a fetch outcome to the circuit breaker, emitting a
+    /// transition span + metric when the breaker changes state (detected
+    /// by comparing the state name before and after — the breaker itself
+    /// stays telemetry-free).
+    fn record_breaker_outcome(&self, success: bool) {
+        let state_before = self.resilience.breaker_state();
+        if success {
+            self.resilience.record_success();
+        } else {
+            self.resilience.record_failure();
+        }
+        if let Some(tel) = self.telemetry {
+            let state_after = self.resilience.breaker_state();
+            if state_after != state_before {
+                let now = self.resilience.clock().now_millis();
+                let segment = self.segment.name().to_string();
+                let mut span =
+                    tel.tracer()
+                        .start_span("breaker-transition", SpanKind::BreakerTransition, now);
+                span.attr("segment", segment.clone());
+                span.attr("from", state_before);
+                span.attr("to", state_after);
+                span.finish(now);
+                tel.metrics().counter_add(
+                    "breaker_transitions_total",
+                    &[("segment", &segment), ("to", state_after)],
+                    1,
+                );
+            }
         }
     }
 

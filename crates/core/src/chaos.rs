@@ -16,7 +16,7 @@
 
 use rangeamp_cdn::{BreakerConfig, ResilienceStats, Vendor};
 use rangeamp_http::Request;
-use rangeamp_net::{FaultPlan, FaultRates, SegmentStats};
+use rangeamp_net::{FaultPlan, FaultRates, SegmentStats, Telemetry};
 
 use crate::attack::{exploited_range_case, ObrAttack};
 use crate::testbed::{CascadeTestbed, Testbed, TARGET_HOST, TARGET_PATH};
@@ -90,6 +90,10 @@ pub struct VendorChaosReport {
     /// Client-facing responses with status ≥ 500 (failures that survived
     /// retries, breaker short-circuits and serve-stale).
     pub client_errors: u64,
+    /// Edge-cache lookups answered from a fresh entry.
+    pub cache_hits: u64,
+    /// Edge-cache lookups that missed (or found only an expired entry).
+    pub cache_misses: u64,
 }
 
 impl VendorChaosReport {
@@ -129,11 +133,41 @@ impl VendorChaosReport {
         }
         1.0 - self.client_errors as f64 / self.client.responses as f64
     }
+
+    /// Mean retries per client request.
+    pub fn retries_per_request(&self) -> f64 {
+        if self.client.requests == 0 {
+            return 0.0;
+        }
+        self.resilience.retries as f64 / self.client.requests as f64
+    }
+
+    /// Fraction of edge-cache lookups answered from a fresh entry.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / lookups as f64
+    }
 }
 
 /// Runs one vendor's exploited SBR case for `config.rounds` rounds under
 /// that vendor's derived fault schedule.
 pub fn run_sbr_chaos(vendor: Vendor, config: &ChaosConfig) -> VendorChaosReport {
+    run_sbr_chaos_with(vendor, config, None)
+}
+
+/// [`run_sbr_chaos`] with an optional telemetry bundle: every round is
+/// traced end to end, and after the run the campaign publishes gauges
+/// (`retries_per_request`, `cache_hit_ratio`) computed from the *same*
+/// authoritative counters the report carries, so metrics and
+/// [`ResilienceStats`] can never disagree.
+pub fn run_sbr_chaos_with(
+    vendor: Vendor,
+    config: &ChaosConfig,
+    telemetry: Option<&Telemetry>,
+) -> VendorChaosReport {
     let plan = FaultPlan::with_rates(config.vendor_seed(vendor), config.rates);
     let mut builder = Testbed::builder()
         .vendor(vendor)
@@ -142,6 +176,9 @@ pub fn run_sbr_chaos(vendor: Vendor, config: &ChaosConfig) -> VendorChaosReport 
         .breaker(config.breaker);
     if let Some(ttl) = config.cache_ttl_ms {
         builder = builder.cache_ttl_ms(ttl);
+    }
+    if let Some(tel) = telemetry {
+        builder = builder.telemetry(tel.clone());
     }
     let bed = builder.build();
     let case = exploited_range_case(vendor, config.resource_size);
@@ -160,7 +197,8 @@ pub fn run_sbr_chaos(vendor: Vendor, config: &ChaosConfig) -> VendorChaosReport 
         }
     }
     let resilience = bed.edge().resilience();
-    VendorChaosReport {
+    let (cache_hits, cache_misses) = bed.edge().cache().stats();
+    let report = VendorChaosReport {
         vendor,
         rounds: config.rounds,
         client: bed.client_segment().stats(),
@@ -168,14 +206,52 @@ pub fn run_sbr_chaos(vendor: Vendor, config: &ChaosConfig) -> VendorChaosReport 
         resilience: resilience.stats(),
         breaker_opens: resilience.breaker_opens(),
         client_errors,
+        cache_hits,
+        cache_misses,
+    };
+    if let Some(tel) = telemetry {
+        publish_vendor_metrics(tel, &report);
     }
+    report
+}
+
+/// Publishes a finished vendor report into the metrics registry, keyed
+/// per vendor, from the report's own counters.
+fn publish_vendor_metrics(tel: &Telemetry, report: &VendorChaosReport) {
+    let vendor = report.vendor.to_string();
+    let labels = [("vendor", vendor.as_str())];
+    let metrics = tel.metrics();
+    metrics.counter_add("chaos_attempts_total", &labels, report.resilience.attempts);
+    metrics.counter_add("chaos_retries_total", &labels, report.resilience.retries);
+    metrics.counter_add("chaos_breaker_opens_total", &labels, report.breaker_opens);
+    metrics.counter_add(
+        "chaos_stale_serves_total",
+        &labels,
+        report.resilience.stale_serves,
+    );
+    metrics.counter_add("chaos_client_errors_total", &labels, report.client_errors);
+    metrics.counter_add("cache_hits_total", &labels, report.cache_hits);
+    metrics.counter_add("cache_misses_total", &labels, report.cache_misses);
+    metrics.gauge_set("retries_per_request", &labels, report.retries_per_request());
+    metrics.gauge_set("cache_hit_ratio", &labels, report.cache_hit_ratio());
+    metrics.gauge_set("retry_amplification", &labels, report.retry_amplification());
+    metrics.gauge_set("availability", &labels, report.availability());
 }
 
 /// Runs [`run_sbr_chaos`] for every vendor, in [`Vendor::ALL`] order.
 pub fn run_sbr_campaign(config: &ChaosConfig) -> Vec<VendorChaosReport> {
+    run_sbr_campaign_with(config, None)
+}
+
+/// [`run_sbr_campaign`] with an optional telemetry bundle threaded into
+/// every vendor's run.
+pub fn run_sbr_campaign_with(
+    config: &ChaosConfig,
+    telemetry: Option<&Telemetry>,
+) -> Vec<VendorChaosReport> {
     Vendor::ALL
         .iter()
-        .map(|vendor| run_sbr_chaos(*vendor, config))
+        .map(|vendor| run_sbr_chaos_with(*vendor, config, telemetry))
         .collect()
 }
 
@@ -221,14 +297,26 @@ impl CascadeChaosReport {
 /// on the `bcdn-origin` path. The OBR `n` is kept small (the damage
 /// under study is the *retry* multiplier, not the part count).
 pub fn run_obr_chaos(fcdn: Vendor, bcdn: Vendor, config: &ChaosConfig) -> CascadeChaosReport {
+    run_obr_chaos_with(fcdn, bcdn, config, None)
+}
+
+/// [`run_obr_chaos`] with an optional telemetry bundle shared by both
+/// edges and the origin.
+pub fn run_obr_chaos_with(
+    fcdn: Vendor,
+    bcdn: Vendor,
+    config: &ChaosConfig,
+    telemetry: Option<&Telemetry>,
+) -> CascadeChaosReport {
     let seed = config.vendor_seed(fcdn) ^ config.vendor_seed(bcdn).rotate_left(17);
     let plan = FaultPlan::with_rates(seed, config.rates);
-    let bed = CascadeTestbed::with_chaos(
+    let bed = CascadeTestbed::with_chaos_telemetry(
         fcdn.fcdn_profile(),
         bcdn.profile(),
         1024,
         plan,
         config.breaker,
+        telemetry.cloned(),
     );
     let attack = ObrAttack::new(fcdn, bcdn).overlapping_ranges(16);
     let case = attack.range_case();

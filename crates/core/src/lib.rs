@@ -50,6 +50,7 @@ mod testbed;
 pub mod workload;
 
 pub use amplification::{AmplificationMeasurement, TrafficBreakdown};
+pub use rangeamp_net::{MetricsRegistry, Telemetry, Tracer};
 pub use testbed::{CascadeTestbed, Testbed, TestbedBuilder, TARGET_HOST, TARGET_PATH};
 
 // Re-export the substrate crates so downstream users need only one

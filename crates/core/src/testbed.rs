@@ -7,7 +7,8 @@ use rangeamp_cdn::{
     Vendor, VendorProfile,
 };
 use rangeamp_http::{Request, Response};
-use rangeamp_net::{FaultPlan, Segment, SegmentName, SharedClock};
+use rangeamp_net::metrics::{FACTOR_BUCKETS, LATENCY_BUCKETS_MS};
+use rangeamp_net::{FaultPlan, Segment, SegmentName, SharedClock, SpanKind, Telemetry};
 use rangeamp_origin::{OriginConfig, OriginServer, ResourceStore};
 
 /// Default target path used by the attack builders.
@@ -50,11 +51,23 @@ impl Testbed {
     }
 
     /// Sends one client request through the CDN, metering both segments.
+    ///
+    /// With telemetry attached (see [`TestbedBuilder::telemetry`]) the
+    /// request roots a new trace: a `client-request` span wraps the whole
+    /// exchange, the edge/fetch/origin spans nest beneath it, and the
+    /// per-request amplification factor (victim-segment response bytes ÷
+    /// attacker-segment response bytes) lands in the
+    /// `amplification_factor{vendor=…}` histogram.
     pub fn request(&self, req: &Request) -> Response {
-        self.client_segment.send_request(req);
-        let resp = self.edge.handle(req);
-        self.client_segment.send_response(&resp);
-        resp
+        match self.edge.telemetry().cloned() {
+            Some(tel) => self.traced_request(&tel, req, None),
+            None => {
+                self.client_segment.send_request(req);
+                let resp = self.edge.handle(req);
+                self.client_segment.send_response(&resp);
+                resp
+            }
+        }
     }
 
     /// Sends one client request and immediately aborts the front-end
@@ -62,9 +75,76 @@ impl Testbed {
     /// dropped-connection attack the paper evaluates in §VIII). The edge
     /// node decides — per vendor — whether the back-end transfer survives.
     pub fn request_aborted(&self, req: &Request, received: u64) -> Response {
+        match self.edge.telemetry().cloned() {
+            Some(tel) => self.traced_request(&tel, req, Some(received)),
+            None => {
+                self.client_segment.send_request(req);
+                let resp = self.edge.handle_with_client_abort(req, received);
+                self.client_segment.send_response_truncated(&resp, received);
+                resp
+            }
+        }
+    }
+
+    /// The traced twin of `request`/`request_aborted`: identical metering
+    /// calls in identical order, plus a root span and per-request metrics
+    /// derived from the same segment counters the reports use.
+    fn traced_request(&self, tel: &Telemetry, req: &Request, abort: Option<u64>) -> Response {
+        let clock = self.edge.resilience().clock().clone();
+        let vendor = self.edge.profile().vendor.to_string();
+        let origin_before = self.edge.origin_segment().stats();
+        let start_ms = clock.now_millis();
+
         self.client_segment.send_request(req);
-        let resp = self.edge.handle_with_client_abort(req, received);
-        self.client_segment.send_response_truncated(&resp, received);
+        let mut span = tel
+            .tracer()
+            .start_trace("client-request", SpanKind::Request, start_ms);
+        span.attr("vendor", vendor.clone());
+        span.attr("uri", req.uri().to_string());
+        if let Some(range) = req.headers().get("range") {
+            span.attr("range", range);
+        }
+        span.add_bytes_in(req.wire_len());
+
+        let resp = match abort {
+            None => self.edge.handle(req),
+            Some(received) => self.edge.handle_with_client_abort(req, received),
+        };
+
+        let delivered = match abort {
+            None => resp.wire_len(),
+            Some(received) => {
+                span.attr("aborted_after", received.to_string());
+                resp.wire_len().min(received)
+            }
+        };
+        span.add_bytes_out(delivered);
+        span.attr("status", resp.status().as_u16().to_string());
+        span.finish(clock.now_millis());
+        match abort {
+            None => self.client_segment.send_response(&resp),
+            Some(received) => self.client_segment.send_response_truncated(&resp, received),
+        }
+
+        let victim_bytes =
+            self.edge.origin_segment().stats().response_bytes - origin_before.response_bytes;
+        let metrics = tel.metrics();
+        let labels = [("vendor", vendor.as_str())];
+        metrics.counter_add("client_requests_total", &labels, 1);
+        metrics.counter_add("client_request_bytes_total", &labels, req.wire_len());
+        metrics.counter_add("client_response_bytes_total", &labels, delivered);
+        metrics.observe_with(
+            "amplification_factor",
+            &labels,
+            &FACTOR_BUCKETS,
+            victim_bytes / delivered.max(1),
+        );
+        metrics.observe_with(
+            "request_virtual_latency_ms",
+            &labels,
+            &LATENCY_BUCKETS_MS,
+            clock.now_millis() - start_ms,
+        );
         resp
     }
 
@@ -105,6 +185,7 @@ pub struct TestbedBuilder {
     fault_plan: Option<Arc<FaultPlan>>,
     breaker: Option<BreakerConfig>,
     cache_ttl_ms: Option<u64>,
+    telemetry: Option<Telemetry>,
 }
 
 impl Default for TestbedBuilder {
@@ -121,6 +202,7 @@ impl Default for TestbedBuilder {
             fault_plan: None,
             breaker: None,
             cache_ttl_ms: None,
+            telemetry: None,
         }
     }
 }
@@ -187,6 +269,15 @@ impl TestbedBuilder {
         self
     }
 
+    /// Attaches a telemetry bundle: the origin and edge record spans and
+    /// metrics for every request, the segments stamp captures with the
+    /// shared virtual clock, and [`Testbed::request`] roots one trace per
+    /// client request.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> TestbedBuilder {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Wires everything together.
     pub fn build(self) -> Testbed {
         let store = match self.prebuilt_store {
@@ -199,11 +290,15 @@ impl TestbedBuilder {
                 store
             }
         };
-        let origin = Arc::new(OriginServer::with_config(store, self.origin_config));
+        let mut origin_server = OriginServer::with_config(store, self.origin_config);
+        if let Some(tel) = &self.telemetry {
+            origin_server = origin_server.with_telemetry(tel.clone());
+        }
+        let origin = Arc::new(origin_server);
         let origin_segment = Segment::new(SegmentName::CdnOrigin);
         let chaos_wired =
             self.fault_plan.is_some() || self.breaker.is_some() || self.cache_ttl_ms.is_some();
-        let edge = if chaos_wired {
+        let mut edge = if chaos_wired {
             let clock = SharedClock::new();
             let clocked: Arc<dyn UpstreamService> =
                 Arc::new(ClockedOrigin::new(origin.clone(), clock.clone()));
@@ -222,8 +317,17 @@ impl TestbedBuilder {
         } else {
             EdgeNode::new(self.profile, origin.clone(), origin_segment)
         };
+        if let Some(tel) = self.telemetry {
+            edge = edge.with_telemetry(tel);
+        }
+        // Both segments stamp captures off the edge's clock, so client-
+        // and origin-side captures interleave into one timeline.
+        let clock = edge.resilience().clock().clone();
+        let client_segment = Segment::new(SegmentName::ClientCdn);
+        client_segment.attach_clock(clock.clone());
+        edge.origin_segment().attach_clock(clock);
         Testbed {
-            client_segment: Segment::new(SegmentName::ClientCdn),
+            client_segment,
             edge,
             origin,
         }
@@ -262,22 +366,32 @@ impl CascadeTestbed {
         bcdn_profile: VendorProfile,
         size: u64,
     ) -> CascadeTestbed {
-        let mut store = ResourceStore::new();
-        store.add_synthetic(TARGET_PATH, size, "application/octet-stream");
-        let origin = Arc::new(OriginServer::with_config(
-            store,
-            OriginConfig::ranges_disabled(),
-        ));
+        CascadeTestbed::with_profiles_telemetry(fcdn_profile, bcdn_profile, size, None)
+    }
+
+    /// [`CascadeTestbed::with_profiles`] with an optional telemetry
+    /// bundle shared by both edges and the origin. The BCDN sits behind
+    /// an `Arc`, so telemetry must be injected at construction time —
+    /// it cannot be attached to a built cascade.
+    pub fn with_profiles_telemetry(
+        fcdn_profile: VendorProfile,
+        bcdn_profile: VendorProfile,
+        size: u64,
+        telemetry: Option<Telemetry>,
+    ) -> CascadeTestbed {
+        let origin = Arc::new(CascadeTestbed::cascade_origin(size, telemetry.as_ref()));
         let bcdn_segment = Segment::new(SegmentName::BcdnOrigin);
-        let bcdn_node = Arc::new(EdgeNode::new(bcdn_profile, origin.clone(), bcdn_segment));
-        let fcdn_segment = Segment::new(SegmentName::FcdnBcdn);
-        let fcdn_node = EdgeNode::new(fcdn_profile, bcdn_node.clone(), fcdn_segment);
-        CascadeTestbed {
-            client_segment: Segment::new(SegmentName::ClientFcdn),
-            fcdn: fcdn_node,
-            bcdn: bcdn_node,
-            origin,
+        let mut bcdn = EdgeNode::new(bcdn_profile, origin.clone(), bcdn_segment);
+        if let Some(tel) = &telemetry {
+            bcdn = bcdn.with_telemetry(tel.clone());
         }
+        let bcdn_node = Arc::new(bcdn);
+        let fcdn_segment = Segment::new(SegmentName::FcdnBcdn);
+        let mut fcdn = EdgeNode::new(fcdn_profile, bcdn_node.clone(), fcdn_segment);
+        if let Some(tel) = &telemetry {
+            fcdn = fcdn.with_telemetry(tel.clone());
+        }
+        CascadeTestbed::assemble(fcdn, bcdn_node, origin)
     }
 
     /// Cascade with fault injection on the `bcdn-origin` path. Both
@@ -291,12 +405,19 @@ impl CascadeTestbed {
         plan: FaultPlan,
         breaker: BreakerConfig,
     ) -> CascadeTestbed {
-        let mut store = ResourceStore::new();
-        store.add_synthetic(TARGET_PATH, size, "application/octet-stream");
-        let origin = Arc::new(OriginServer::with_config(
-            store,
-            OriginConfig::ranges_disabled(),
-        ));
+        CascadeTestbed::with_chaos_telemetry(fcdn_profile, bcdn_profile, size, plan, breaker, None)
+    }
+
+    /// [`CascadeTestbed::with_chaos`] with an optional telemetry bundle.
+    pub fn with_chaos_telemetry(
+        fcdn_profile: VendorProfile,
+        bcdn_profile: VendorProfile,
+        size: u64,
+        plan: FaultPlan,
+        breaker: BreakerConfig,
+        telemetry: Option<Telemetry>,
+    ) -> CascadeTestbed {
+        let origin = Arc::new(CascadeTestbed::cascade_origin(size, telemetry.as_ref()));
         let clock = SharedClock::new();
         let clocked: Arc<dyn UpstreamService> =
             Arc::new(ClockedOrigin::new(origin.clone(), clock.clone()));
@@ -304,26 +425,93 @@ impl CascadeTestbed {
             Arc::new(FaultyUpstream::new(clocked, Arc::new(plan)));
         let bcdn_segment = Segment::new(SegmentName::BcdnOrigin);
         let bcdn_resilience = Resilience::new(bcdn_profile.retry, breaker, clock.clone());
-        let bcdn_node = Arc::new(
-            EdgeNode::new(bcdn_profile, faulty, bcdn_segment).with_resilience(bcdn_resilience),
-        );
+        let mut bcdn =
+            EdgeNode::new(bcdn_profile, faulty, bcdn_segment).with_resilience(bcdn_resilience);
+        if let Some(tel) = &telemetry {
+            bcdn = bcdn.with_telemetry(tel.clone());
+        }
+        let bcdn_node = Arc::new(bcdn);
         let fcdn_segment = Segment::new(SegmentName::FcdnBcdn);
         let fcdn_resilience = Resilience::new(fcdn_profile.retry, breaker, clock);
-        let fcdn_node = EdgeNode::new(fcdn_profile, bcdn_node.clone(), fcdn_segment)
+        let mut fcdn = EdgeNode::new(fcdn_profile, bcdn_node.clone(), fcdn_segment)
             .with_resilience(fcdn_resilience);
+        if let Some(tel) = &telemetry {
+            fcdn = fcdn.with_telemetry(tel.clone());
+        }
+        CascadeTestbed::assemble(fcdn, bcdn_node, origin)
+    }
+
+    fn cascade_origin(size: u64, telemetry: Option<&Telemetry>) -> OriginServer {
+        let mut store = ResourceStore::new();
+        store.add_synthetic(TARGET_PATH, size, "application/octet-stream");
+        let mut origin = OriginServer::with_config(store, OriginConfig::ranges_disabled());
+        if let Some(tel) = telemetry {
+            origin = origin.with_telemetry(tel.clone());
+        }
+        origin
+    }
+
+    /// Final wiring shared by all constructors: create the client
+    /// segment and stamp every segment's captures off the FCDN's clock
+    /// (in chaos cascades all edges share one clock already).
+    fn assemble(fcdn: EdgeNode, bcdn: Arc<EdgeNode>, origin: Arc<OriginServer>) -> CascadeTestbed {
+        let clock = fcdn.resilience().clock().clone();
+        let client_segment = Segment::new(SegmentName::ClientFcdn);
+        client_segment.attach_clock(clock.clone());
+        fcdn.origin_segment().attach_clock(clock.clone());
+        bcdn.origin_segment().attach_clock(clock);
         CascadeTestbed {
-            client_segment: Segment::new(SegmentName::ClientFcdn),
-            fcdn: fcdn_node,
-            bcdn: bcdn_node,
+            client_segment,
+            fcdn,
+            bcdn,
             origin,
         }
     }
 
-    /// Sends one client request through the cascade.
+    /// Sends one client request through the cascade. With telemetry
+    /// attached, the request roots a new trace whose spans cover
+    /// client→FCDN, FCDN→BCDN and BCDN→origin, and the OBR amplification
+    /// factor (victim `fcdn-bcdn` bytes ÷ attacker bytes) is recorded.
     pub fn request(&self, req: &Request) -> Response {
+        let Some(tel) = self.fcdn.telemetry().cloned() else {
+            self.client_segment.send_request(req);
+            let resp = self.fcdn.handle(req);
+            self.client_segment.send_response(&resp);
+            return resp;
+        };
+        let clock = self.fcdn.resilience().clock().clone();
+        let start_ms = clock.now_millis();
+        let middle_before = self.fcdn.origin_segment().stats();
+
         self.client_segment.send_request(req);
+        let mut span = tel
+            .tracer()
+            .start_trace("client-request", SpanKind::Request, start_ms);
+        let fcdn_vendor = self.fcdn.profile().vendor.to_string();
+        span.attr("fcdn", fcdn_vendor.clone());
+        span.attr("bcdn", self.bcdn.profile().vendor.to_string());
+        span.attr("uri", req.uri().to_string());
+        if let Some(range) = req.headers().get("range") {
+            span.attr("range", range);
+        }
+        span.add_bytes_in(req.wire_len());
         let resp = self.fcdn.handle(req);
+        span.add_bytes_out(resp.wire_len());
+        span.attr("status", resp.status().as_u16().to_string());
+        span.finish(clock.now_millis());
         self.client_segment.send_response(&resp);
+
+        let victim_bytes =
+            self.fcdn.origin_segment().stats().response_bytes - middle_before.response_bytes;
+        let labels = [("fcdn", fcdn_vendor.as_str())];
+        tel.metrics()
+            .counter_add("client_requests_total", &labels, 1);
+        tel.metrics().observe_with(
+            "amplification_factor",
+            &labels,
+            &FACTOR_BUCKETS,
+            victim_bytes / resp.wire_len().max(1),
+        );
         resp
     }
 

@@ -36,11 +36,22 @@ pub struct CaptureEntry {
     /// the transfer was cut short; `None` for complete deliveries.
     /// `wire_len` always records the full message as put on the wire.
     pub delivered_len: Option<u64>,
+    /// Virtual-clock time of the capture, in milliseconds. Zero when the
+    /// capturing segment has no clock attached (plain testbeds freeze
+    /// virtual time at the epoch). Timestamping at capture time is what
+    /// lets captures from *different* segments be interleaved into one
+    /// cross-segment timeline.
+    pub at_millis: u64,
 }
 
 impl CaptureEntry {
-    /// Summarizes a request.
+    /// Summarizes a request captured at virtual time zero.
     pub fn of_request(req: &Request) -> CaptureEntry {
+        CaptureEntry::of_request_at(req, 0)
+    }
+
+    /// Summarizes a request captured at `at_millis` of virtual time.
+    pub fn of_request_at(req: &Request, at_millis: u64) -> CaptureEntry {
         CaptureEntry {
             direction: Direction::Upstream,
             wire_len: req.wire_len(),
@@ -49,11 +60,17 @@ impl CaptureEntry {
             content_type: req.headers().get("content-type").map(str::to_string),
             body_len: req.body().len(),
             delivered_len: None,
+            at_millis,
         }
     }
 
-    /// Summarizes a response.
+    /// Summarizes a response captured at virtual time zero.
     pub fn of_response(resp: &Response) -> CaptureEntry {
+        CaptureEntry::of_response_at(resp, 0)
+    }
+
+    /// Summarizes a response captured at `at_millis` of virtual time.
+    pub fn of_response_at(resp: &Response, at_millis: u64) -> CaptureEntry {
         CaptureEntry {
             direction: Direction::Downstream,
             wire_len: resp.wire_len(),
@@ -67,15 +84,25 @@ impl CaptureEntry {
             content_type: resp.headers().get("content-type").map(str::to_string),
             body_len: resp.body().len(),
             delivered_len: None,
+            at_millis,
         }
     }
 
     /// Summarizes a response of which only `delivered` wire bytes reached
     /// the receiver before the connection was cut.
     pub fn of_response_truncated(resp: &Response, delivered: u64) -> CaptureEntry {
+        CaptureEntry::of_response_truncated_at(resp, delivered, 0)
+    }
+
+    /// Truncated-response summary captured at `at_millis` of virtual time.
+    pub fn of_response_truncated_at(
+        resp: &Response,
+        delivered: u64,
+        at_millis: u64,
+    ) -> CaptureEntry {
         CaptureEntry {
             delivered_len: Some(delivered.min(resp.wire_len())),
-            ..CaptureEntry::of_response(resp)
+            ..CaptureEntry::of_response_at(resp, at_millis)
         }
     }
 
@@ -162,6 +189,13 @@ impl CaptureLog {
                 Direction::Upstream => "->",
                 Direction::Downstream => "<-",
             };
+            if entry.at_millis > 0 {
+                out.push_str(&format!(
+                    "[t={}.{:03}s] ",
+                    entry.at_millis / 1000,
+                    entry.at_millis % 1000
+                ));
+            }
             out.push_str(arrow);
             out.push(' ');
             out.push_str(&entry.start_line);
@@ -292,6 +326,28 @@ mod tests {
             .build();
         let entry = CaptureEntry::of_response_truncated(&resp, u64::MAX);
         assert_eq!(entry.delivered_len, Some(resp.wire_len()));
+    }
+
+    #[test]
+    fn timestamped_captures_carry_virtual_time() {
+        let req = Request::get("/f").build();
+        let entry = CaptureEntry::of_request_at(&req, 1_250);
+        assert_eq!(entry.at_millis, 1_250);
+        // The zero-time constructors stamp the epoch.
+        assert_eq!(CaptureEntry::of_request(&req).at_millis, 0);
+
+        let resp = Response::builder(StatusCode::OK)
+            .sized_body(vec![0u8; 4])
+            .build();
+        assert_eq!(CaptureEntry::of_response_at(&resp, 99).at_millis, 99);
+        let truncated = CaptureEntry::of_response_truncated_at(&resp, 2, 7);
+        assert_eq!(truncated.at_millis, 7);
+        assert_eq!(truncated.delivered_len, Some(2));
+
+        let mut log = CaptureLog::new();
+        log.push(CaptureEntry::of_request_at(&req, 1_250));
+        let trace = log.render();
+        assert!(trace.contains("[t=1.250s] -> GET /f HTTP/1.1"), "{trace}");
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   simulator used by the Fig 7 experiment (outgoing bandwidth of the
 //!   origin under m concurrent SBR request streams).
 //! * [`clock::VirtualClock`] — deterministic virtual time.
+//! * [`telemetry::Tracer`] / [`metrics::MetricsRegistry`] — deterministic
+//!   hop-span tracing and a metrics registry, exportable as Chrome
+//!   trace-event JSON and JSONL (see DESIGN.md § Observability).
 //!
 //! # Example
 //!
@@ -37,10 +40,14 @@ pub mod capture;
 pub mod clock;
 pub mod fault;
 pub mod flowsim;
+pub mod metrics;
 mod segment;
+pub mod telemetry;
 
 pub use capture::{CaptureEntry, CaptureLog, Direction};
 pub use clock::{SharedClock, VirtualClock};
 pub use fault::{Delivery, FaultEvent, FaultKind, FaultPlan, FaultRates, FaultySegment};
 pub use flowsim::{FlowId, FlowSim, LinkId};
+pub use metrics::{Histogram, MetricKey, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use segment::{Segment, SegmentName, SegmentStats};
+pub use telemetry::{ActiveSpan, Span, SpanId, SpanKind, Telemetry, TraceId, Tracer};

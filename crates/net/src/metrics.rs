@@ -1,0 +1,478 @@
+//! Deterministic metrics registry — counters, gauges, and fixed-bucket
+//! histograms keyed by metric name + sorted label set.
+//!
+//! The registry is the quantitative half of the telemetry layer (the
+//! qualitative half being [`crate::telemetry`] spans). Everything about it
+//! is designed for reproducibility:
+//!
+//! * keys are stored in a [`BTreeMap`], so a snapshot is always sorted the
+//!   same way regardless of registration order;
+//! * histograms use *fixed* bucket bounds chosen at first observation —
+//!   no dynamic resizing that could depend on arrival order;
+//! * exports ([`MetricsSnapshot::render`], [`MetricsSnapshot::to_jsonl`])
+//!   are hand-assembled strings with no hash-map iteration anywhere, so
+//!   the same counter values produce byte-identical files.
+//!
+//! Metric names follow a Prometheus-flavoured scheme documented in
+//! DESIGN.md § Observability: `snake_case` names, `_total` suffix for
+//! counters, `_bytes`/`_ms` unit suffixes, labels like `vendor=` and
+//! `segment=` for the paper's per-CDN / per-hop breakdowns.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Histogram bucket upper bounds for wire-byte distributions: 256 B up to
+/// 64 MiB in powers of four, plus an implicit overflow bucket.
+pub const BYTE_BUCKETS: [u64; 10] = [
+    256,
+    1 << 10,
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    256 << 10,
+    1 << 20,
+    4 << 20,
+    16 << 20,
+    64 << 20,
+];
+
+/// Bucket bounds for small event counts (retries per request, attempts).
+pub const COUNT_BUCKETS: [u64; 8] = [0, 1, 2, 3, 5, 8, 13, 21];
+
+/// Bucket bounds for amplification factors (the paper reports SBR factors
+/// up to 43,330× and OBR up to 7,432×, so the scale is logarithmic).
+pub const FACTOR_BUCKETS: [u64; 10] = [1, 2, 5, 10, 50, 100, 500, 1_000, 10_000, 100_000];
+
+/// Bucket bounds for virtual latencies in milliseconds.
+pub const LATENCY_BUCKETS_MS: [u64; 10] = [1, 5, 10, 50, 100, 250, 500, 1_000, 5_000, 30_000];
+
+/// A metric identity: name plus sorted label pairs.
+///
+/// Ordering is lexicographic on the name and then the label pairs, which
+/// is what makes snapshots deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name, e.g. `hop_response_bytes`.
+    pub name: String,
+    /// Label pairs, sorted by label name.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Renders the key as `name{label=value,...}` (or just `name` when
+    /// there are no labels).
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let mut out = String::new();
+        out.push_str(&self.name);
+        out.push('{');
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}={v}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A fixed-bucket histogram of `u64` observations.
+///
+/// `counts` has one slot per bound plus a final overflow slot for values
+/// above the largest bound. A value lands in the first bucket whose bound
+/// is `>=` the value, so `0` always lands in bucket 0 and `u64::MAX`
+/// always lands in the overflow slot (unless a bound equals `u64::MAX`).
+/// The running `sum` is a `u128` so it cannot overflow even when fed
+/// `u64::MAX` repeatedly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Inclusive upper bounds of the finite buckets, ascending.
+    pub bounds: Vec<u64>,
+    /// Observation counts per bucket; `counts.len() == bounds.len() + 1`,
+    /// with the last slot counting values above every bound.
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values (u128: immune to u64 overflow).
+    pub sum: u128,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with the given bucket bounds.
+    pub fn new(bounds: &[u64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+    }
+
+    /// Mean of the observations, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One metric's current value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically increasing counter.
+    Counter(u64),
+    /// Last-write-wins floating-point gauge.
+    Gauge(f64),
+    /// Fixed-bucket histogram.
+    Histogram(Histogram),
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    metrics: BTreeMap<MetricKey, MetricValue>,
+}
+
+/// A cloneable handle on a shared, deterministic metrics registry.
+///
+/// Clones share the same underlying table (the testbed hands one handle to
+/// the edge node, one to the origin, one to the campaign driver). All
+/// mutation happens under a single short-lived lock; the registry is meant
+/// for the simulator's request rates, not a hot production path.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the counter `name{labels}` (creating it at zero).
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock();
+        match inner.metrics.entry(key).or_insert(MetricValue::Counter(0)) {
+            MetricValue::Counter(v) => *v += delta,
+            other => debug_assert!(false, "metric type mismatch: {other:?}"),
+        }
+    }
+
+    /// Sets the gauge `name{labels}` to `value`.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let key = MetricKey::new(name, labels);
+        self.inner
+            .lock()
+            .metrics
+            .insert(key, MetricValue::Gauge(value));
+    }
+
+    /// Records `value` into the histogram `name{labels}` using the
+    /// default [`BYTE_BUCKETS`] bounds.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.observe_with(name, labels, &BYTE_BUCKETS, value);
+    }
+
+    /// Records `value` into the histogram `name{labels}`, creating it
+    /// with `bounds` on first use (later calls keep the original bounds).
+    pub fn observe_with(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64], value: u64) {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock();
+        match inner
+            .metrics
+            .entry(key)
+            .or_insert_with(|| MetricValue::Histogram(Histogram::new(bounds)))
+        {
+            MetricValue::Histogram(h) => h.observe(value),
+            other => debug_assert!(false, "metric type mismatch: {other:?}"),
+        }
+    }
+
+    /// Reads a counter's current value (0 when absent).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let key = MetricKey::new(name, labels);
+        match self.inner.lock().metrics.get(&key) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Reads a gauge's current value, if set.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let key = MetricKey::new(name, labels);
+        match self.inner.lock().metrics.get(&key) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A sorted, deep-copied snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        MetricsSnapshot {
+            entries: inner
+                .metrics
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Number of distinct metric keys registered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().metrics.len()
+    }
+
+    /// Whether no metric has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A point-in-time, sorted copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(key, value)` pairs sorted by key.
+    pub entries: Vec<(MetricKey, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a sorted `key value` text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (key, value) in &self.entries {
+            out.push_str(&key.render());
+            out.push(' ');
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "{v:.6}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(out, "count={} sum={} mean={:.1}", h.count, h.sum, h.mean());
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Exports the snapshot as JSON Lines, one metric per line, sorted by
+    /// key. Hand-assembled so the byte layout is fully deterministic.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (key, value) in &self.entries {
+            out.push_str("{\"metric\":\"");
+            out.push_str(&escape_json(&key.name));
+            out.push_str("\",\"labels\":{");
+            for (i, (k, v)) in key.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":\"{}\"", escape_json(k), escape_json(v));
+            }
+            out.push_str("},");
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "\"type\":\"counter\",\"value\":{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "\"type\":\"gauge\",\"value\":{v:.6}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "\"type\":\"histogram\",\"count\":{},\"sum\":\"{}\",\"buckets\":[",
+                        h.count, h.sum
+                    );
+                    for (i, bound) in h.bounds.iter().enumerate() {
+                        let _ = write!(out, "{{\"le\":\"{}\",\"count\":{}}},", bound, h.counts[i]);
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"le\":\"+Inf\",\"count\":{}}}]",
+                        h.counts[h.bounds.len()]
+                    );
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let m = MetricsRegistry::new();
+        m.counter_add("requests_total", &[("vendor", "Akamai")], 2);
+        m.counter_add("requests_total", &[("vendor", "Akamai")], 3);
+        m.counter_add("requests_total", &[("vendor", "Fastly")], 1);
+        assert_eq!(
+            m.counter_value("requests_total", &[("vendor", "Akamai")]),
+            5
+        );
+        assert_eq!(
+            m.counter_value("requests_total", &[("vendor", "Fastly")]),
+            1
+        );
+        assert_eq!(m.counter_value("requests_total", &[("vendor", "CDN77")]), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let m = MetricsRegistry::new();
+        m.gauge_set("cache_hit_ratio", &[("vendor", "KeyCDN")], 0.25);
+        m.gauge_set("cache_hit_ratio", &[("vendor", "KeyCDN")], 0.75);
+        assert_eq!(
+            m.gauge_value("cache_hit_ratio", &[("vendor", "KeyCDN")]),
+            Some(0.75)
+        );
+        assert_eq!(
+            m.gauge_value("cache_hit_ratio", &[("vendor", "Azure")]),
+            None
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_zero_goes_first() {
+        let mut h = Histogram::new(&BYTE_BUCKETS);
+        h.observe(0);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 0);
+    }
+
+    #[test]
+    fn histogram_buckets_u64_max_goes_to_overflow() {
+        let mut h = Histogram::new(&BYTE_BUCKETS);
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(*h.counts.last().unwrap(), 2);
+        assert_eq!(h.count, 2);
+        // The u128 sum survives two u64::MAX observations without wrapping.
+        assert_eq!(h.sum, 2 * u128::from(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_bound_is_inclusive() {
+        let mut h = Histogram::new(&[10, 100]);
+        h.observe(10);
+        h.observe(11);
+        h.observe(100);
+        h.observe(101);
+        assert_eq!(h.counts, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn histogram_bound_at_u64_max_captures_everything() {
+        let mut h = Histogram::new(&[u64::MAX]);
+        h.observe(u64::MAX);
+        assert_eq!(h.counts, vec![1, 0]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        // Register in opposite orders; snapshots must still match.
+        a.counter_add("zz_total", &[], 1);
+        a.counter_add("aa_total", &[("vendor", "B")], 1);
+        a.counter_add("aa_total", &[("vendor", "A")], 1);
+        b.counter_add("aa_total", &[("vendor", "A")], 1);
+        b.counter_add("aa_total", &[("vendor", "B")], 1);
+        b.counter_add("zz_total", &[], 1);
+        assert_eq!(a.snapshot().render(), b.snapshot().render());
+        assert_eq!(a.snapshot().to_jsonl(), b.snapshot().to_jsonl());
+        let render = a.snapshot().render();
+        let first = render.lines().next().unwrap();
+        assert!(first.starts_with("aa_total{vendor=A}"), "sorted: {render}");
+    }
+
+    #[test]
+    fn jsonl_shape_is_one_object_per_line() {
+        let m = MetricsRegistry::new();
+        m.counter_add("c_total", &[("vendor", "Akamai")], 7);
+        m.gauge_set("g", &[], 1.5);
+        m.observe_with("h_bytes", &[], &[10, 20], 15);
+        let jsonl = m.snapshot().to_jsonl();
+        assert_eq!(jsonl.lines().count(), 3);
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(jsonl.contains("\"type\":\"counter\",\"value\":7"));
+        assert!(jsonl.contains("\"type\":\"gauge\",\"value\":1.500000"));
+        assert!(jsonl.contains("{\"le\":\"20\",\"count\":1}"));
+        assert!(jsonl.contains("{\"le\":\"+Inf\",\"count\":0}"));
+    }
+
+    #[test]
+    fn escape_json_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn key_render_formats_labels() {
+        let key = MetricKey::new("m", &[("b", "2"), ("a", "1")]);
+        assert_eq!(key.render(), "m{a=1,b=2}");
+        assert_eq!(MetricKey::new("m", &[]).render(), "m");
+    }
+}

@@ -5,6 +5,7 @@ use parking_lot::Mutex;
 use rangeamp_http::{Request, Response};
 
 use crate::capture::{CaptureEntry, CaptureLog};
+use crate::clock::SharedClock;
 
 /// The named connectivity segments of the paper's Fig 1 and Fig 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -72,6 +73,13 @@ struct SegmentInner {
     stats: SegmentStats,
     capture: CaptureLog,
     aborted: bool,
+    clock: Option<SharedClock>,
+}
+
+impl SegmentInner {
+    fn now_millis(&self) -> u64 {
+        self.clock.as_ref().map_or(0, SharedClock::now_millis)
+    }
 }
 
 /// A metered connection between two roles of the testbed.
@@ -98,22 +106,32 @@ impl Segment {
         self.name
     }
 
+    /// Attaches a virtual clock; every later capture is stamped with the
+    /// clock's current time, so captures from different segments sharing
+    /// one clock can be interleaved into a single timeline. Without a
+    /// clock, captures are stamped `at_millis = 0`.
+    pub fn attach_clock(&self, clock: SharedClock) {
+        self.inner.lock().clock = Some(clock);
+    }
+
     /// Meters and captures a request crossing upstream.
     pub fn send_request(&self, req: &Request) {
         let mut inner = self.inner.lock();
+        let now = inner.now_millis();
         inner.stats.requests += 1;
         inner.stats.request_bytes += req.wire_len();
         inner.stats.h2_request_bytes += rangeamp_http::h2frame::request_wire_len(req);
-        inner.capture.push(CaptureEntry::of_request(req));
+        inner.capture.push(CaptureEntry::of_request_at(req, now));
     }
 
     /// Meters and captures a response crossing downstream.
     pub fn send_response(&self, resp: &Response) {
         let mut inner = self.inner.lock();
+        let now = inner.now_millis();
         inner.stats.responses += 1;
         inner.stats.response_bytes += resp.wire_len();
         inner.stats.h2_response_bytes += rangeamp_http::h2frame::response_wire_len(resp);
-        inner.capture.push(CaptureEntry::of_response(resp));
+        inner.capture.push(CaptureEntry::of_response_at(resp, now));
     }
 
     /// Meters a response of which the receiver only accepted
@@ -122,13 +140,16 @@ impl Segment {
     /// byte count is what the attacker actually pays for.
     pub fn send_response_truncated(&self, resp: &Response, received_bytes: u64) {
         let mut inner = self.inner.lock();
+        let now = inner.now_millis();
         inner.stats.responses += 1;
         inner.stats.response_bytes += resp.wire_len().min(received_bytes);
         inner.stats.h2_response_bytes +=
             rangeamp_http::h2frame::response_wire_len(resp).min(received_bytes);
-        inner
-            .capture
-            .push(CaptureEntry::of_response_truncated(resp, received_bytes));
+        inner.capture.push(CaptureEntry::of_response_truncated_at(
+            resp,
+            received_bytes,
+            now,
+        ));
         inner.aborted = true;
     }
 
@@ -152,10 +173,13 @@ impl Segment {
         self.inner.lock().capture.clone()
     }
 
-    /// Zeroes counters and capture (between experiment iterations).
+    /// Zeroes counters and capture (between experiment iterations). An
+    /// attached clock survives the reset.
     pub fn reset(&self) {
         let mut inner = self.inner.lock();
+        let clock = inner.clock.take();
         *inner = SegmentInner::default();
+        inner.clock = clock;
     }
 }
 
@@ -226,6 +250,40 @@ mod tests {
         assert_eq!(segment.stats(), SegmentStats::default());
         assert!(!segment.is_aborted());
         assert!(segment.capture().is_empty());
+    }
+
+    #[test]
+    fn attached_clock_stamps_captures_and_survives_reset() {
+        use crate::clock::SharedClock;
+
+        let segment = Segment::new(SegmentName::CdnOrigin);
+        let clock = SharedClock::new();
+        segment.attach_clock(clock.clone());
+
+        segment.send_request(&Request::get("/a").build());
+        clock.advance_millis(1_500);
+        segment.send_request(&Request::get("/b").build());
+        let resp = Response::builder(StatusCode::OK)
+            .sized_body(vec![0u8; 4])
+            .build();
+        segment.send_response(&resp);
+        clock.advance_millis(500);
+        segment.send_response_truncated(&resp, 2);
+
+        let stamps: Vec<u64> = segment
+            .capture()
+            .entries()
+            .iter()
+            .map(|e| e.at_millis)
+            .collect();
+        assert_eq!(stamps, vec![0, 1_500, 1_500, 2_000]);
+
+        // reset() zeroes counters but keeps the clock attached.
+        segment.reset();
+        assert!(segment.capture().is_empty());
+        clock.advance_millis(1);
+        segment.send_request(&Request::get("/c").build());
+        assert_eq!(segment.capture().entries()[0].at_millis, 2_001);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 use rangeamp_http::multipart::MultipartBuilder;
 use rangeamp_http::range::RangeHeader;
 use rangeamp_http::{Method, Request, Response, ResponseBuilder, StatusCode};
+use rangeamp_net::{SpanKind, Telemetry};
 
 use crate::{MultiRangeBehavior, OriginConfig, OverloadShedder, Resource, ResourceStore};
 
@@ -22,6 +23,7 @@ pub struct OriginServer {
     store: ResourceStore,
     config: OriginConfig,
     overload: Option<OverloadShedder>,
+    telemetry: Option<Telemetry>,
 }
 
 impl OriginServer {
@@ -37,6 +39,7 @@ impl OriginServer {
             store,
             config,
             overload: None,
+            telemetry: None,
         }
     }
 
@@ -53,6 +56,14 @@ impl OriginServer {
     /// The overload shedder, if one is attached.
     pub fn overload(&self) -> Option<&OverloadShedder> {
         self.overload.as_ref()
+    }
+
+    /// Attaches a telemetry bundle: every handled request records a
+    /// server-side span (virtual start/end, request/response wire bytes,
+    /// path, status) nested under whatever edge span is in flight.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> OriginServer {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// The active configuration.
@@ -90,6 +101,31 @@ impl OriginServer {
     /// responses must win a transfer slot first — otherwise the request
     /// is shed with `503 Service Unavailable` and a `Retry-After` header.
     pub fn handle_at(&self, req: &Request, now_ms: u64) -> Response {
+        let span = self.telemetry.as_ref().map(|tel| {
+            let mut span = tel
+                .tracer()
+                .start_span("origin-handle", SpanKind::Origin, now_ms);
+            span.attr("path", req.uri().path().to_string());
+            if let Some(range) = req.headers().get("range") {
+                span.attr("range", range);
+            }
+            span.add_bytes_in(req.wire_len());
+            span
+        });
+        let resp = self.handle_at_core(req, now_ms);
+        if let Some(mut span) = span {
+            let tel = self.telemetry.as_ref().expect("span implies telemetry");
+            let status = resp.status().as_u16().to_string();
+            span.add_bytes_out(resp.wire_len());
+            span.attr("status", status.clone());
+            span.finish(now_ms);
+            tel.metrics()
+                .counter_add("origin_requests_total", &[("status", &status)], 1);
+        }
+        resp
+    }
+
+    fn handle_at_core(&self, req: &Request, now_ms: u64) -> Response {
         let resp = self.respond(req);
         if let Some(shedder) = &self.overload {
             if resp.status().is_success() && !resp.body().is_empty() {
