@@ -3,13 +3,14 @@
 //! resource sweeps 1..=25 MB for all 13 vendors. Output is one CSV block
 //! per sub-figure, ready for plotting.
 //!
-//! Pass `--json <path>` to also write the sweep points as JSON.
+//! Accepts the shared harness flags (`--json <path>`, `--threads <n>`);
+//! output is byte-identical at any thread count.
 //!
 //! ```text
 //! cargo run -p rangeamp-bench --release --bin fig6
 //! ```
 
-use rangeamp_bench::{sbr_points, SbrPoint, MB};
+use rangeamp_bench::{sbr_points_exec, BenchCli, SbrPoint, MB};
 use rangeamp_cdn::Vendor;
 
 fn print_csv(title: &str, points: &[SbrPoint], value: impl Fn(&SbrPoint) -> String) {
@@ -34,8 +35,9 @@ fn print_csv(title: &str, points: &[SbrPoint], value: impl Fn(&SbrPoint) -> Stri
 }
 
 fn main() {
+    let cli = BenchCli::parse();
     let sizes: Vec<u64> = (1..=25).collect();
-    let points = sbr_points(&sizes);
+    let points = sbr_points_exec(&sizes, &cli.executor());
 
     print_csv("Fig 6a — amplification factor", &points, |p| {
         format!("{:.0}", p.amplification_factor)
@@ -80,5 +82,5 @@ fn main() {
             .map(|v| factor_at(v.name(), 25))
             .fold(0.0f64, f64::max)
     );
-    rangeamp_bench::maybe_write_json(&points);
+    cli.write_json(&points);
 }

@@ -3,14 +3,16 @@
 //! requests per second for 30 seconds (10 MB resource, 1000 Mbps origin
 //! uplink). Prints a summary table plus one CSV block per sub-figure.
 //!
-//! Pass `--json <path>` to also write the rows as JSON.
+//! Accepts the shared harness flags (`--json <path>`, `--threads <n>`);
+//! output is byte-identical at any thread count.
 //!
 //! ```text
 //! cargo run -p rangeamp-bench --release --bin fig7
 //! ```
 
 fn main() {
-    let reports = rangeamp_bench::fig7_reports();
+    let cli = rangeamp_bench::BenchCli::parse();
+    let reports = rangeamp_bench::fig7_reports_exec(&cli.executor());
     println!("{}", rangeamp_bench::render_fig7_summary(&reports));
 
     println!("# Fig 7b — origin outgoing bandwidth (Mbps) per second");
@@ -54,5 +56,5 @@ fn main() {
         rangeamp_bench::paper::FIG7_EXHAUSTION_M,
         rangeamp_bench::paper::FIG7_CLIENT_KBPS_BOUND,
     );
-    rangeamp_bench::maybe_write_json(&reports);
+    cli.write_json(&reports);
 }

@@ -3,54 +3,25 @@
 //! one cascade and prints the factor series plus the attacker's fixed
 //! cost — the figure the paper describes in prose.
 //!
+//! Accepts the shared harness flags (`--json <path>`, `--threads <n>`);
+//! output is byte-identical at any thread count.
+//!
 //! ```text
 //! cargo run -p rangeamp-bench --release --bin obr_sweep
 //! ```
 
 use rangeamp::attack::ObrAttack;
-use rangeamp::report::TextTable;
+use rangeamp_bench::{obr_sweep_points, render_obr_sweep, BenchCli};
 use rangeamp_cdn::Vendor;
 
 fn main() {
-    let fcdn = Vendor::Cloudflare;
-    let bcdn = Vendor::Akamai;
-    let max_n = ObrAttack::new(fcdn, bcdn).max_n();
-
-    let mut table = TextTable::new(
-        "OBR amplification vs number of overlapping ranges (Cloudflare → Akamai, 1 KB resource)",
-        &[
-            "n",
-            "request size (B)",
-            "BCDN→FCDN (B)",
-            "factor",
-            "attacker accepted (B)",
-        ],
-    );
-    let mut n = 16usize;
-    let mut points = Vec::new();
-    while n < max_n {
-        points.push(n);
-        n *= 4;
-    }
-    points.push(max_n);
-    for n in points {
-        let report = ObrAttack::new(fcdn, bcdn).overlapping_ranges(n).run();
-        let request_size = rangeamp_cdn::ObrRangeCase::AllZeroOpen
-            .header(n)
-            .to_string()
-            .len()
-            + 64; // request line + Host
-        table.row(vec![
-            n.to_string(),
-            request_size.to_string(),
-            report.bcdn_to_fcdn_bytes.to_string(),
-            format!("{:.1}", report.amplification_factor()),
-            report.attacker_bytes.to_string(),
-        ]);
-    }
-    println!("{table}");
+    let cli = BenchCli::parse();
+    let points = obr_sweep_points(&cli.executor());
+    println!("{}", render_obr_sweep(&points));
+    let max_n = ObrAttack::new(Vendor::Cloudflare, Vendor::Akamai).max_n();
     println!(
         "The factor grows linearly in n up to the header-limit ceiling (max n = {max_n}); \
          the attacker's accepted bytes stay constant — §IV-C's proportionality claim."
     );
+    cli.write_json(&points);
 }

@@ -5,11 +5,11 @@
 //! resilience-layer counters (stale serves, breaker opens) and the
 //! edge-cache hit/miss split behind each row.
 //!
-//! The fault schedule, backoff clock and vendor order are all
-//! deterministic — the same build prints byte-identical output on every
-//! run.
+//! The fault schedule, backoff clock, vendor order and shard merge are
+//! all deterministic — the same build prints byte-identical output on
+//! every run at any `--threads N`.
 //!
-//! Optional flags:
+//! Flags (shared harness set plus `--trace`):
 //!
 //! * `--trace <path>` — record every round's hop spans and write them as
 //!   Chrome trace-event JSON (Perfetto-loadable); also writes the
@@ -17,25 +17,28 @@
 //! * `--json <path>` — write the per-vendor reports as JSON.
 //! * `--seed <n>` — override the campaign seed (default is the built-in
 //!   deterministic seed).
+//! * `--threads <n>` — shard the campaign over `n` executor threads
+//!   (0 = one per core).
 //!
 //! ```text
 //! cargo run -p rangeamp-bench --release --bin retry_amp -- \
-//!     --trace retry_amp.trace.json --json retry_amp.json
+//!     --trace retry_amp.trace.json --json retry_amp.json --threads 8
 //! ```
 
-use rangeamp::chaos::{run_sbr_campaign_with, ChaosConfig};
+use rangeamp::chaos::ChaosConfig;
 use rangeamp::Telemetry;
-use rangeamp_bench::{arg_value, maybe_write_json, retry_amp_json, write_output};
+use rangeamp_bench::{arg_value, retry_amp_json, retry_amp_reports_exec, write_output, BenchCli};
 
 fn main() {
+    let cli = BenchCli::parse();
     let mut config = ChaosConfig::default();
-    if let Some(seed) = arg_value("--seed") {
-        config.seed = seed.parse().expect("--seed takes an integer");
+    if let Some(seed) = cli.seed {
+        config.seed = seed;
     }
     let trace_path = arg_value("--trace");
     let telemetry = trace_path.as_ref().map(|_| Telemetry::seeded(config.seed));
 
-    let reports = run_sbr_campaign_with(&config, telemetry.as_ref());
+    let reports = retry_amp_reports_exec(&config, telemetry.as_ref(), &cli.executor());
     println!("{}", rangeamp_bench::render_retry_amp(&reports));
 
     if let (Some(path), Some(tel)) = (&trace_path, &telemetry) {
@@ -45,5 +48,5 @@ fn main() {
             &tel.metrics().snapshot().to_jsonl(),
         );
     }
-    maybe_write_json(&retry_amp_json(&reports));
+    cli.write_json(&retry_amp_json(&reports));
 }

@@ -1,19 +1,21 @@
 //! Regenerates Table I: range forwarding behaviours vulnerable to the
 //! SBR attack, derived by the vulnerability scanner.
 //!
-//! Pass `--json <path>` to also write the rows as JSON.
+//! Accepts the shared harness flags (`--json <path>`, `--threads <n>`);
+//! output is byte-identical at any thread count.
 //!
 //! ```text
 //! cargo run -p rangeamp-bench --release --bin table1
 //! ```
 
 fn main() {
-    let rows = rangeamp_bench::scanner().scan_table1();
+    let cli = rangeamp_bench::BenchCli::parse();
+    let rows = rangeamp_bench::scanner().scan_table1_exec(&cli.executor());
     println!("{}", rangeamp_bench::render_table1(&rows));
     println!(
         "{} vulnerable (vendor, format) rows across {} vendors — the paper finds all 13 CDNs vulnerable.",
         rows.len(),
         rows.iter().map(|r| r.vendor.clone()).collect::<std::collections::BTreeSet<_>>().len(),
     );
-    rangeamp_bench::maybe_write_json(&rows);
+    cli.write_json(&rows);
 }

@@ -1,18 +1,20 @@
 //! Regenerates Table II: multi-range forwarding behaviours vulnerable to
 //! the OBR attack (FCDN eligibility), derived by the scanner.
 //!
-//! Pass `--json <path>` to also write the rows as JSON.
+//! Accepts the shared harness flags (`--json <path>`, `--threads <n>`);
+//! output is byte-identical at any thread count.
 //!
 //! ```text
 //! cargo run -p rangeamp-bench --release --bin table2
 //! ```
 
 fn main() {
-    let rows = rangeamp_bench::scanner().scan_table2();
+    let cli = rangeamp_bench::BenchCli::parse();
+    let rows = rangeamp_bench::scanner().scan_table2_exec(&cli.executor());
     println!("{}", rangeamp_bench::render_table2(&rows));
     println!(
         "{} FCDN-eligible vendors — the paper finds 4 (CDN77, CDNsun, Cloudflare, StackPath).",
         rows.len()
     );
-    rangeamp_bench::maybe_write_json(&rows);
+    cli.write_json(&rows);
 }

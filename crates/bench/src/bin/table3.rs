@@ -1,18 +1,20 @@
 //! Regenerates Table III: multi-range replying behaviours vulnerable to
 //! the OBR attack (BCDN eligibility), derived by the scanner.
 //!
-//! Pass `--json <path>` to also write the rows as JSON.
+//! Accepts the shared harness flags (`--json <path>`, `--threads <n>`);
+//! output is byte-identical at any thread count.
 //!
 //! ```text
 //! cargo run -p rangeamp-bench --release --bin table3
 //! ```
 
 fn main() {
-    let rows = rangeamp_bench::scanner().scan_table3();
+    let cli = rangeamp_bench::BenchCli::parse();
+    let rows = rangeamp_bench::scanner().scan_table3_exec(&cli.executor());
     println!("{}", rangeamp_bench::render_table3(&rows));
     println!(
         "{} BCDN-eligible vendors — the paper finds 3 (Akamai, Azure, StackPath).",
         rows.len()
     );
-    rangeamp_bench::maybe_write_json(&rows);
+    cli.write_json(&rows);
 }

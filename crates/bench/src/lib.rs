@@ -10,11 +10,13 @@
 #![warn(missing_docs)]
 
 pub mod paper;
+pub mod timing;
 
 use rangeamp::attack::{
     obr_combos, FloodExperiment, FloodReport, ObrAttack, ObrMeasurement, SbrAttack,
 };
-use rangeamp::chaos::{run_sbr_campaign, run_sbr_campaign_with, ChaosConfig, VendorChaosReport};
+use rangeamp::chaos::{run_sbr_campaign, run_sbr_campaign_exec, ChaosConfig, VendorChaosReport};
+use rangeamp::executor::Executor;
 use rangeamp::report::{group_digits, TextTable};
 use rangeamp::scanner::{Scanner, Table1Row, Table2Row, Table3Row};
 use rangeamp::{Telemetry, Testbed, TARGET_PATH};
@@ -45,30 +47,42 @@ pub struct SbrPoint {
 /// Runs the SBR attack for every vendor at the given sizes (Table IV
 /// uses {1, 10, 25} MB; Fig 6 sweeps 1..=25 MB).
 pub fn sbr_points(sizes_mb: &[u64]) -> Vec<SbrPoint> {
-    let mut points = Vec::new();
-    for &size_mb in sizes_mb {
-        let size = size_mb * MB;
-        // Share the synthetic resource across the 13 vendor testbeds.
-        let mut store = ResourceStore::new();
-        store.add_synthetic(TARGET_PATH, size, "application/octet-stream");
-        for vendor in Vendor::ALL {
-            let attack = SbrAttack::new(vendor, size);
-            let bed = Testbed::builder()
-                .vendor(vendor)
-                .store(store.clone())
-                .build();
-            let report = attack.run_on(&bed, size_mb);
-            points.push(SbrPoint {
-                vendor: vendor.name().to_string(),
-                exploited_case: report.exploited_case.clone(),
-                file_size: size,
-                client_bytes: report.traffic.attacker_response_bytes,
-                origin_bytes: report.traffic.victim_response_bytes,
-                amplification_factor: report.amplification_factor(),
-            });
-        }
-    }
-    points
+    sbr_points_exec(sizes_mb, &Executor::sequential())
+}
+
+/// [`sbr_points`] sharded over a deterministic executor. Each size is
+/// one unit (the 13 vendor testbeds of a size share one synthetic
+/// resource store), and points concatenate in input-size order — output
+/// is byte-identical at any thread count.
+pub fn sbr_points_exec(sizes_mb: &[u64], executor: &Executor) -> Vec<SbrPoint> {
+    executor
+        .map(0, sizes_mb.to_vec(), |_, size_mb| {
+            let size = size_mb * MB;
+            // Share the synthetic resource across the 13 vendor testbeds.
+            let mut store = ResourceStore::new();
+            store.add_synthetic(TARGET_PATH, size, "application/octet-stream");
+            let mut points = Vec::with_capacity(Vendor::ALL.len());
+            for vendor in Vendor::ALL {
+                let attack = SbrAttack::new(vendor, size);
+                let bed = Testbed::builder()
+                    .vendor(vendor)
+                    .store(store.clone())
+                    .build();
+                let report = attack.run_on(&bed, size_mb);
+                points.push(SbrPoint {
+                    vendor: vendor.name().to_string(),
+                    exploited_case: report.exploited_case.clone(),
+                    file_size: size,
+                    client_bytes: report.traffic.attacker_response_bytes,
+                    origin_bytes: report.traffic.victim_response_bytes,
+                    amplification_factor: report.amplification_factor(),
+                });
+            }
+            points
+        })
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Renders Table IV (amplification factors at 1/10/25 MB) with the
@@ -126,10 +140,85 @@ pub fn render_table4(points: &[SbrPoint]) -> TextTable {
 
 /// Runs the Table V experiment: OBR with max n over all 11 combos.
 pub fn table5_measurements() -> Vec<ObrMeasurement> {
-    obr_combos()
-        .into_iter()
-        .map(|(fcdn, bcdn)| ObrAttack::new(fcdn, bcdn).run())
-        .collect()
+    table5_measurements_exec(&Executor::sequential())
+}
+
+/// [`table5_measurements`] with each FCDN → BCDN cascade as one
+/// executor unit, merged back in [`obr_combos`] order.
+pub fn table5_measurements_exec(executor: &Executor) -> Vec<ObrMeasurement> {
+    executor.map(0, obr_combos(), |_, (fcdn, bcdn)| {
+        ObrAttack::new(fcdn, bcdn).run()
+    })
+}
+
+/// One point of the §IV-C OBR proportionality sweep (factor vs n).
+#[derive(Debug, Clone, Serialize)]
+pub struct ObrSweepPoint {
+    /// Number of overlapping ranges.
+    pub n: usize,
+    /// Attacker request size in bytes (range header + request line).
+    pub request_size: usize,
+    /// Victim-link (`fcdn-bcdn`) response bytes.
+    pub bcdn_to_fcdn_bytes: u64,
+    /// OBR amplification factor at this n.
+    pub factor: f64,
+    /// Response bytes the attacker actually accepted.
+    pub attacker_bytes: u64,
+}
+
+/// Runs the OBR proportionality sweep (Cloudflare → Akamai, 1 KB
+/// resource): n = 16, 64, 256, … up to the cascade's header-limit max.
+/// Each n is one executor unit.
+pub fn obr_sweep_points(executor: &Executor) -> Vec<ObrSweepPoint> {
+    let fcdn = Vendor::Cloudflare;
+    let bcdn = Vendor::Akamai;
+    let max_n = ObrAttack::new(fcdn, bcdn).max_n();
+    let mut ns = Vec::new();
+    let mut n = 16usize;
+    while n < max_n {
+        ns.push(n);
+        n *= 4;
+    }
+    ns.push(max_n);
+    executor.map(0, ns, |_, n| {
+        let report = ObrAttack::new(fcdn, bcdn).overlapping_ranges(n).run();
+        let request_size = rangeamp_cdn::ObrRangeCase::AllZeroOpen
+            .header(n)
+            .to_string()
+            .len()
+            + 64; // request line + Host
+        ObrSweepPoint {
+            n,
+            request_size,
+            bcdn_to_fcdn_bytes: report.bcdn_to_fcdn_bytes,
+            factor: report.amplification_factor(),
+            attacker_bytes: report.attacker_bytes,
+        }
+    })
+}
+
+/// Renders the OBR proportionality sweep table.
+pub fn render_obr_sweep(points: &[ObrSweepPoint]) -> TextTable {
+    let mut table = TextTable::new(
+        "OBR amplification vs number of overlapping ranges (Cloudflare → Akamai, 1 KB resource)",
+        &[
+            "n",
+            "request size (B)",
+            "BCDN→FCDN (B)",
+            "factor",
+            "attacker accepted (B)",
+        ],
+    );
+    for point in points {
+        table.row(vec![
+            point.n.to_string(),
+            point.request_size.to_string(),
+            point.bcdn_to_fcdn_bytes.to_string(),
+            format!("{:.1}", point.factor),
+            point.attacker_bytes.to_string(),
+        ]);
+    }
+    table
 }
 
 /// Renders Table V with the paper's values alongside.
@@ -169,9 +258,15 @@ pub fn render_table5(measurements: &[ObrMeasurement]) -> TextTable {
 
 /// Runs Fig 7 for m = 1..=15.
 pub fn fig7_reports() -> Vec<FloodReport> {
-    (1..=15)
-        .map(|m| FloodExperiment::paper_config(m).run())
-        .collect()
+    fig7_reports_exec(&Executor::sequential())
+}
+
+/// [`fig7_reports`] with each attack rate m as one executor unit,
+/// merged back in ascending-m order.
+pub fn fig7_reports_exec(executor: &Executor) -> Vec<FloodReport> {
+    executor.map(0, (1..=15).collect(), |_, m| {
+        FloodExperiment::paper_config(m).run()
+    })
 }
 
 /// Renders the Fig 7 summary (steady origin outgoing bandwidth per m).
@@ -256,7 +351,17 @@ pub fn retry_amp_reports() -> Vec<VendorChaosReport> {
 /// of every vendor's run is traced, and the campaign publishes its
 /// per-vendor gauges/counters into the bundle's metrics registry.
 pub fn retry_amp_reports_with(telemetry: Option<&Telemetry>) -> Vec<VendorChaosReport> {
-    run_sbr_campaign_with(&ChaosConfig::default(), telemetry)
+    retry_amp_reports_exec(&ChaosConfig::default(), telemetry, &Executor::sequential())
+}
+
+/// [`retry_amp_reports_with`] sharded over a deterministic executor
+/// with an explicit campaign configuration.
+pub fn retry_amp_reports_exec(
+    config: &ChaosConfig,
+    telemetry: Option<&Telemetry>,
+    executor: &Executor,
+) -> Vec<VendorChaosReport> {
+    run_sbr_campaign_exec(config, telemetry, executor)
 }
 
 /// Renders the per-vendor retry-amplification table: how much extra
@@ -329,6 +434,60 @@ pub fn retry_amp_json(reports: &[VendorChaosReport]) -> serde_json::Value {
             })
             .collect(),
     )
+}
+
+/// The flag set shared by every table/figure binary, parsed once.
+///
+/// All harness binaries accept:
+///
+/// * `--json <path>` — also write the experiment's rows as pretty JSON;
+/// * `--threads <n>` — shard the experiment over `n` executor threads
+///   (`0` means "one per core"; output bytes are identical for any
+///   value — see DESIGN.md §8);
+/// * `--seed <n>` — override the campaign seed where the experiment is
+///   seeded (ignored by the purely deterministic table sweeps).
+#[derive(Debug, Clone)]
+pub struct BenchCli {
+    /// `--json <path>`: JSON sidecar output path.
+    pub json: Option<String>,
+    /// `--threads <n>` (default 1; 0 = one per core).
+    pub threads: usize,
+    /// `--seed <n>`: campaign seed override.
+    pub seed: Option<u64>,
+}
+
+impl BenchCli {
+    /// Parses the shared flags from `std::env::args`.
+    pub fn parse() -> BenchCli {
+        let threads = arg_value("--threads")
+            .map(|raw| raw.parse().expect("--threads takes an integer"))
+            .unwrap_or(1);
+        BenchCli {
+            json: arg_value("--json"),
+            threads,
+            seed: arg_value("--seed").map(|raw| raw.parse().expect("--seed takes an integer")),
+        }
+    }
+
+    /// The executor the flags select: `--threads 0` sizes it to the
+    /// machine, anything else is an explicit shard count.
+    pub fn executor(&self) -> Executor {
+        if self.threads == 0 {
+            Executor::available_parallelism()
+        } else {
+            Executor::new(self.threads)
+        }
+    }
+
+    /// Writes `value` as pretty JSON to the `--json` path, when given.
+    /// The printed text output is unaffected, so golden outputs stay
+    /// byte-identical.
+    pub fn write_json<T: Serialize>(&self, value: &T) {
+        if let Some(path) = &self.json {
+            let json = serde_json::to_string_pretty(value).expect("serializable");
+            write_output(path, &json);
+        }
+    }
 }
 
 /// Returns the value following `flag` on the command line, accepting

@@ -18,7 +18,8 @@ use rangeamp_cdn::{BreakerConfig, ResilienceStats, Vendor};
 use rangeamp_http::Request;
 use rangeamp_net::{FaultPlan, FaultRates, SegmentStats, Telemetry};
 
-use crate::attack::{exploited_range_case, ObrAttack};
+use crate::attack::{exploited_range_case, obr_combos, ObrAttack};
+use crate::executor::Executor;
 use crate::testbed::{CascadeTestbed, Testbed, TARGET_HOST, TARGET_PATH};
 
 /// Parameters of a chaos campaign.
@@ -244,15 +245,72 @@ pub fn run_sbr_campaign(config: &ChaosConfig) -> Vec<VendorChaosReport> {
 }
 
 /// [`run_sbr_campaign`] with an optional telemetry bundle threaded into
-/// every vendor's run.
+/// every vendor's run (single-shard executor).
 pub fn run_sbr_campaign_with(
     config: &ChaosConfig,
     telemetry: Option<&Telemetry>,
 ) -> Vec<VendorChaosReport> {
-    Vendor::ALL
-        .iter()
-        .map(|vendor| run_sbr_chaos_with(*vendor, config, telemetry))
-        .collect()
+    run_sbr_campaign_exec(config, telemetry, &Executor::sequential())
+}
+
+/// [`run_sbr_campaign`] sharded over a deterministic [`Executor`].
+///
+/// Each vendor is one unit: its fault schedule still derives from
+/// [`ChaosConfig::vendor_seed`] (unchanged by parallelism), and when a
+/// telemetry bundle is supplied every unit traces into its *own* bundle
+/// seeded from the executor's per-unit seed stream; the bundles are
+/// absorbed into `telemetry` in vendor order after the parallel section.
+/// Reports, rendered tables, metrics snapshots and Chrome-trace exports
+/// are therefore byte-identical at any thread count.
+pub fn run_sbr_campaign_exec(
+    config: &ChaosConfig,
+    telemetry: Option<&Telemetry>,
+    executor: &Executor,
+) -> Vec<VendorChaosReport> {
+    let traced = telemetry.is_some();
+    let results = executor.map(config.seed, Vendor::ALL.to_vec(), |ctx, vendor| {
+        let unit_tel = traced.then(|| Telemetry::seeded(ctx.seed));
+        let report = run_sbr_chaos_with(vendor, config, unit_tel.as_ref());
+        (report, unit_tel)
+    });
+    let mut reports = Vec::with_capacity(results.len());
+    for (report, unit_tel) in results {
+        if let (Some(main), Some(unit)) = (telemetry, unit_tel.as_ref()) {
+            main.absorb(unit);
+        }
+        reports.push(report);
+    }
+    reports
+}
+
+/// Runs [`run_obr_chaos`] for every vulnerable FCDN → BCDN combination
+/// (the paper's 11 Table V cascades), in [`obr_combos`] order.
+pub fn run_obr_campaign(config: &ChaosConfig) -> Vec<CascadeChaosReport> {
+    run_obr_campaign_exec(config, None, &Executor::sequential())
+}
+
+/// [`run_obr_campaign`] sharded over a deterministic [`Executor`], with
+/// an optional telemetry bundle absorbed in combo order (same contract
+/// as [`run_sbr_campaign_exec`]).
+pub fn run_obr_campaign_exec(
+    config: &ChaosConfig,
+    telemetry: Option<&Telemetry>,
+    executor: &Executor,
+) -> Vec<CascadeChaosReport> {
+    let traced = telemetry.is_some();
+    let results = executor.map(config.seed, obr_combos(), |ctx, (fcdn, bcdn)| {
+        let unit_tel = traced.then(|| Telemetry::seeded(ctx.seed));
+        let report = run_obr_chaos_with(fcdn, bcdn, config, unit_tel.as_ref());
+        (report, unit_tel)
+    });
+    let mut reports = Vec::with_capacity(results.len());
+    for (report, unit_tel) in results {
+        if let (Some(main), Some(unit)) = (telemetry, unit_tel.as_ref()) {
+            main.absorb(unit);
+        }
+        reports.push(report);
+    }
+    reports
 }
 
 /// Outcome of one cascaded OBR chaos run.
@@ -432,6 +490,44 @@ mod tests {
         for (report, vendor) in reports.iter().zip(Vendor::ALL) {
             assert_eq!(report.vendor, vendor);
         }
+    }
+
+    #[test]
+    fn campaign_is_byte_identical_across_thread_counts() {
+        let config = ChaosConfig {
+            rounds: 4,
+            resource_size: 32 * 1024,
+            ..ChaosConfig::default()
+        };
+        let run = |threads: usize| {
+            let tel = Telemetry::seeded(config.seed);
+            let reports = run_sbr_campaign_exec(&config, Some(&tel), &Executor::new(threads));
+            let digest: Vec<String> = reports.iter().map(|r| format!("{r:?}")).collect();
+            (
+                digest,
+                tel.metrics().snapshot().render(),
+                tel.tracer().chrome_trace_json(),
+            )
+        };
+        let reference = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn obr_campaign_covers_all_combos_at_any_thread_count() {
+        let config = ChaosConfig {
+            rounds: 2,
+            ..ChaosConfig::default()
+        };
+        let seq = run_obr_campaign(&config);
+        assert_eq!(seq.len(), crate::attack::obr_combos().len());
+        let par = run_obr_campaign_exec(&config, None, &Executor::new(5));
+        let digest = |rs: &[CascadeChaosReport]| -> Vec<String> {
+            rs.iter().map(|r| format!("{r:?}")).collect()
+        };
+        assert_eq!(digest(&seq), digest(&par));
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! Deterministic parallel campaign executor.
+//!
+//! Every sweep in this workspace — the 13-vendor SBR campaigns, the
+//! 13×13 OBR cascades, the scanner's probe matrix, the chaos campaigns —
+//! is an *embarrassingly parallel* list of independent units: each unit
+//! builds its own testbed, runs to completion and yields one result.
+//! This module runs such lists across OS threads while keeping the
+//! repo's core guarantee intact: **byte-identical reports at any
+//! `--threads N`**.
+//!
+//! The determinism contract (DESIGN.md §8) rests on three rules:
+//!
+//! 1. **Fixed shard→unit assignment.** Unit `i` always runs on shard
+//!    `i % threads`. There is no work-stealing queue whose pop order
+//!    could depend on timing — a shard's unit list is a pure function
+//!    of `(unit count, thread count)`.
+//! 2. **Per-unit seeds, not per-shard streams.** Each unit's RNG seed
+//!    derives from the campaign seed and the unit's *index* via a
+//!    [`splitmix64`] mix, so the randomness a unit sees is independent
+//!    of which shard ran it or how many shards exist.
+//! 3. **Order-independent merge.** Shards return `(unit index, result)`
+//!    pairs; the merge concatenates whatever order the shards finished
+//!    in and re-sorts by unit index. Shuffling the shard outputs cannot
+//!    change the merged vector (property-tested in
+//!    `crates/core/tests/executor_prop.rs`).
+//!
+//! Telemetry in parallel campaigns follows the same shape: each unit
+//! writes spans and metrics into its *own* [`Telemetry`] bundle (seeded
+//! per unit), and the campaign merges the bundles back into the
+//! caller's bundle in unit order after the barrier
+//! ([`rangeamp_net::Telemetry::absorb`]). Counters and histograms merge
+//! additively, gauges last-write-wins in unit order, and span ids/
+//! sequence numbers are re-based on absorption — so the exported trace
+//! and metrics files are byte-identical at any thread count.
+//!
+//! [`Telemetry`]: rangeamp_net::Telemetry
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// splitmix64 finalizer (public-domain constants) — the workspace-wide
+/// seed mixer. Deriving sub-seeds through it keeps neighbouring unit
+/// indices from producing correlated fault schedules.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The golden-ratio increment used to space unit seeds before mixing.
+pub const SEED_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Derives the seed for unit `index` of a campaign seeded with `seed`.
+///
+/// This is the only seed-derivation scheme the executor supports — every
+/// parallel campaign uses it, so a unit's randomness depends only on
+/// `(campaign seed, unit index)`, never on shard layout.
+pub fn unit_seed(seed: u64, index: usize) -> u64 {
+    splitmix64(seed.wrapping_add((index as u64 + 1).wrapping_mul(SEED_GAMMA)))
+}
+
+/// Context handed to the unit closure: where the unit sits in the
+/// campaign and the seed derived for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitCtx {
+    /// The unit's index in the input list (also its merge key).
+    pub index: usize,
+    /// The shard (thread) the unit was assigned to: `index % threads`.
+    pub shard: usize,
+    /// Per-unit seed derived via [`unit_seed`] from the campaign seed.
+    pub seed: u64,
+}
+
+/// A deterministic parallel executor over a fixed number of shards.
+///
+/// # Example
+///
+/// ```
+/// use rangeamp::executor::Executor;
+///
+/// let inputs: Vec<u64> = (0..100).collect();
+/// let seq = Executor::sequential().map(7, inputs.clone(), |ctx, x| x * 2 + ctx.seed % 1);
+/// let par = Executor::new(8).map(7, inputs, |ctx, x| x * 2 + ctx.seed % 1);
+/// assert_eq!(seq, par, "results are identical at any thread count");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: NonZeroUsize,
+}
+
+impl Default for Executor {
+    fn default() -> Executor {
+        Executor::sequential()
+    }
+}
+
+impl Executor {
+    /// An executor over `threads` shards (clamped to at least 1).
+    pub fn new(threads: usize) -> Executor {
+        Executor {
+            threads: NonZeroUsize::new(threads.max(1)).expect("max(1) is non-zero"),
+        }
+    }
+
+    /// The single-shard executor: runs units in order on the calling
+    /// thread, through the same seed-derivation and merge path as the
+    /// parallel shards.
+    pub fn sequential() -> Executor {
+        Executor::new(1)
+    }
+
+    /// An executor sized to the machine (`std::thread::available_parallelism`).
+    pub fn available_parallelism() -> Executor {
+        Executor::new(thread::available_parallelism().map_or(1, NonZeroUsize::get))
+    }
+
+    /// The shard count.
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Runs `f` over every unit and returns the results in input order.
+    ///
+    /// Unit `i` runs on shard `i % threads` with seed
+    /// [`unit_seed`]`(seed, i)`; shards process their units in ascending
+    /// index order, and the merge re-sorts `(index, result)` pairs so
+    /// the output is byte-identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first (lowest-shard) panic raised by a unit.
+    pub fn map<T, R, F>(&self, seed: u64, units: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&UnitCtx, T) -> R + Sync,
+    {
+        let threads = self.threads.get().min(units.len().max(1));
+        if threads <= 1 {
+            return units
+                .into_iter()
+                .enumerate()
+                .map(|(index, unit)| {
+                    let ctx = UnitCtx {
+                        index,
+                        shard: 0,
+                        seed: unit_seed(seed, index),
+                    };
+                    f(&ctx, unit)
+                })
+                .collect();
+        }
+
+        // Fixed assignment: deal the units round-robin into shard-local
+        // lists, remembering each unit's original index as its merge key.
+        let mut shard_inputs: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
+        for (index, unit) in units.into_iter().enumerate() {
+            shard_inputs[index % threads].push((index, unit));
+        }
+
+        let f = &f;
+        let shard_outputs: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
+            let handles: Vec<_> = shard_inputs
+                .into_iter()
+                .enumerate()
+                .map(|(shard, inputs)| {
+                    scope.spawn(move || {
+                        inputs
+                            .into_iter()
+                            .map(|(index, unit)| {
+                                let ctx = UnitCtx {
+                                    index,
+                                    shard,
+                                    seed: unit_seed(seed, index),
+                                };
+                                (index, f(&ctx, unit))
+                            })
+                            .collect::<Vec<(usize, R)>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| match handle.join() {
+                    Ok(results) => results,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
+        merge_shard_results(shard_outputs)
+    }
+}
+
+/// The executor's merge step, exposed for property tests: concatenates
+/// per-shard `(unit index, result)` lists — in *any* order — and
+/// re-sorts by unit index, so shard completion order cannot leak into
+/// the output.
+pub fn merge_shard_results<R>(shard_outputs: Vec<Vec<(usize, R)>>) -> Vec<R> {
+    let mut merged: Vec<(usize, R)> = shard_outputs.into_iter().flatten().collect();
+    merged.sort_by_key(|(index, _)| *index);
+    merged.into_iter().map(|(_, result)| result).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_seed_depends_on_index_not_shard_count() {
+        let base = unit_seed(7, 3);
+        assert_eq!(base, unit_seed(7, 3));
+        assert_ne!(base, unit_seed(7, 4));
+        assert_ne!(base, unit_seed(8, 3));
+    }
+
+    #[test]
+    fn map_results_are_identical_across_thread_counts() {
+        let inputs: Vec<usize> = (0..37).collect();
+        let run = |threads: usize| {
+            Executor::new(threads).map(99, inputs.clone(), |ctx, x| {
+                assert_eq!(ctx.index, x);
+                (x, ctx.seed)
+            })
+        };
+        let reference = run(1);
+        for threads in [2, 3, 4, 8, 64] {
+            assert_eq!(run(threads), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn shard_assignment_is_round_robin() {
+        let shards = Executor::new(3).map(0, (0..9).collect::<Vec<usize>>(), |ctx, _| ctx.shard);
+        assert_eq!(shards, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(Executor::new(8).map(0, empty, |_, x| x).is_empty());
+        assert_eq!(Executor::new(8).map(0, vec![5u8], |_, x| x), vec![5]);
+    }
+
+    #[test]
+    fn merge_is_shard_order_independent() {
+        let a = vec![vec![(0, 'a'), (2, 'c')], vec![(1, 'b'), (3, 'd')]];
+        let b = vec![vec![(1, 'b'), (3, 'd')], vec![(0, 'a'), (2, 'c')]];
+        assert_eq!(merge_shard_results(a), vec!['a', 'b', 'c', 'd']);
+        assert_eq!(merge_shard_results(b), vec!['a', 'b', 'c', 'd']);
+    }
+
+    #[test]
+    fn threads_clamped_to_at_least_one() {
+        assert_eq!(Executor::new(0).threads(), 1);
+    }
+}

@@ -24,6 +24,8 @@
 //!   defenses; [`severity`] projects the monetary damage (§V-E);
 //!   [`workload`] generates benign range traffic for the §VI-C
 //!   detectability analysis.
+//! * [`executor::Executor`] shards every campaign across OS threads
+//!   with byte-identical output at any `--threads N` (DESIGN.md §8).
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,7 @@
 pub mod amplification;
 pub mod attack;
 pub mod chaos;
+pub mod executor;
 pub mod mitigation;
 pub mod report;
 pub mod scanner;
@@ -50,6 +53,7 @@ mod testbed;
 pub mod workload;
 
 pub use amplification::{AmplificationMeasurement, TrafficBreakdown};
+pub use executor::Executor;
 pub use rangeamp_net::{MetricsRegistry, Telemetry, Tracer};
 pub use testbed::{CascadeTestbed, Testbed, TestbedBuilder, TARGET_HOST, TARGET_PATH};
 

@@ -12,6 +12,7 @@ use rangeamp_http::range::{RangeCaseKind, RangeRequestGenerator};
 use rangeamp_http::{Request, StatusCode};
 use serde::Serialize;
 
+use crate::executor::Executor;
 use crate::testbed::{Testbed, TARGET_HOST, TARGET_PATH};
 
 const MB: u64 = 1024 * 1024;
@@ -220,11 +221,21 @@ impl Scanner {
     /// Probes every vendor with the Table I case matrix and derives the
     /// vulnerable rows.
     pub fn scan_table1(&self) -> Vec<Table1Row> {
-        let mut rows = Vec::new();
-        for vendor in Vendor::ALL {
-            rows.extend(self.scan_vendor_table1(vendor));
-        }
-        rows
+        self.scan_table1_exec(&Executor::sequential())
+    }
+
+    /// [`Scanner::scan_table1`] with each vendor's probe matrix run as
+    /// one executor unit. Every probe builds its own testbed and the
+    /// rows concatenate in [`Vendor::ALL`] order, so the output is
+    /// byte-identical at any thread count.
+    pub fn scan_table1_exec(&self, executor: &Executor) -> Vec<Table1Row> {
+        executor
+            .map(self.seed, Vendor::ALL.to_vec(), |_, vendor| {
+                self.scan_vendor_table1(vendor)
+            })
+            .into_iter()
+            .flatten()
+            .collect()
     }
 
     /// Classifies one (vendor, range, size) probe into a Table I outcome.
@@ -437,74 +448,98 @@ impl Scanner {
     /// Probes every vendor's FCDN eligibility (Table II): does it relay
     /// overlapping multi-range headers verbatim?
     pub fn scan_table2(&self) -> Vec<Table2Row> {
+        self.scan_table2_exec(&Executor::sequential())
+    }
+
+    /// [`Scanner::scan_table2`] with one executor unit per vendor.
+    pub fn scan_table2_exec(&self, executor: &Executor) -> Vec<Table2Row> {
+        executor
+            .map(self.seed, Vendor::ALL.to_vec(), |_, vendor| {
+                self.scan_vendor_table2(vendor)
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Table II derivation for one vendor.
+    fn scan_vendor_table2(&self, vendor: Vendor) -> Option<Table2Row> {
         let shapes = [
             (ObrRangeCase::AllZeroOpen, "start1 = 0"),
             (ObrRangeCase::OneThenZero, "start1 ≥ 1"),
             (ObrRangeCase::SuffixThenZero, "leading suffix"),
         ];
-        let mut rows = Vec::new();
-        for vendor in Vendor::ALL {
-            let mut relayed: Vec<&str> = Vec::new();
-            for (case, label) in shapes {
-                let range = case.header(3).to_string();
-                let bed = Testbed::builder()
-                    .profile(vendor.fcdn_profile())
-                    .resource(TARGET_PATH, 4096)
-                    .build();
-                let req = Request::get(&format!("{TARGET_PATH}?scan={:x}", self.seed))
-                    .header("Host", TARGET_HOST)
-                    .header("Range", range.clone())
-                    .build();
-                bed.request(&req);
-                let forwarded = bed.origin_segment().capture().forwarded_ranges();
-                if forwarded.first() == Some(&Some(range)) {
-                    relayed.push(label);
-                }
+        let mut relayed: Vec<&str> = Vec::new();
+        for (case, label) in shapes {
+            let range = case.header(3).to_string();
+            let bed = Testbed::builder()
+                .profile(vendor.fcdn_profile())
+                .resource(TARGET_PATH, 4096)
+                .build();
+            let req = Request::get(&format!("{TARGET_PATH}?scan={:x}", self.seed))
+                .header("Host", TARGET_HOST)
+                .header("Range", range.clone())
+                .build();
+            bed.request(&req);
+            let forwarded = bed.origin_segment().capture().forwarded_ranges();
+            if forwarded.first() == Some(&Some(range)) {
+                relayed.push(label);
             }
-            if relayed.is_empty() {
-                continue;
-            }
-            let format = if relayed.len() == shapes.len() {
-                "bytes=start1-,start2-,...,startn-".to_string()
-            } else {
-                format!("bytes=start1-,start2-,...,startn- ({})", relayed.join(", "))
-            };
-            rows.push(Table2Row {
-                vendor: vendor.name().to_string(),
-                vulnerable_format: format,
-                forwarded_format: "Unchanged".to_string(),
-            });
         }
-        rows
+        if relayed.is_empty() {
+            return None;
+        }
+        let format = if relayed.len() == shapes.len() {
+            "bytes=start1-,start2-,...,startn-".to_string()
+        } else {
+            format!("bytes=start1-,start2-,...,startn- ({})", relayed.join(", "))
+        };
+        Some(Table2Row {
+            vendor: vendor.name().to_string(),
+            vulnerable_format: format,
+            forwarded_format: "Unchanged".to_string(),
+        })
     }
 
     /// Probes every vendor's BCDN eligibility (Table III): with range
     /// support disabled at the origin, does an overlapping multi-range
     /// request come back as one part per range?
     pub fn scan_table3(&self) -> Vec<Table3Row> {
-        let mut rows = Vec::new();
-        for vendor in Vendor::ALL {
-            let n_small = 4usize;
-            if !self.replies_n_part(vendor, n_small) {
-                continue;
-            }
-            // Find whether an n-limit exists (Azure: 64).
-            let qualifier = if self.replies_n_part(vendor, 65) {
-                String::new()
-            } else {
-                let limit = (n_small..=64)
-                    .rev()
-                    .find(|&n| self.replies_n_part(vendor, n))
-                    .unwrap_or(n_small);
-                format!(" (n ≤ {limit})")
-            };
-            rows.push(Table3Row {
-                vendor: vendor.name().to_string(),
-                vulnerable_format: format!("bytes=start1-,start2-,...,startn-{qualifier}"),
-                response_format: "n-part response (overlapping)".to_string(),
-            });
+        self.scan_table3_exec(&Executor::sequential())
+    }
+
+    /// [`Scanner::scan_table3`] with one executor unit per vendor.
+    pub fn scan_table3_exec(&self, executor: &Executor) -> Vec<Table3Row> {
+        executor
+            .map(self.seed, Vendor::ALL.to_vec(), |_, vendor| {
+                self.scan_vendor_table3(vendor)
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Table III derivation for one vendor.
+    fn scan_vendor_table3(&self, vendor: Vendor) -> Option<Table3Row> {
+        let n_small = 4usize;
+        if !self.replies_n_part(vendor, n_small) {
+            return None;
         }
-        rows
+        // Find whether an n-limit exists (Azure: 64).
+        let qualifier = if self.replies_n_part(vendor, 65) {
+            String::new()
+        } else {
+            let limit = (n_small..=64)
+                .rev()
+                .find(|&n| self.replies_n_part(vendor, n))
+                .unwrap_or(n_small);
+            format!(" (n ≤ {limit})")
+        };
+        Some(Table3Row {
+            vendor: vendor.name().to_string(),
+            vulnerable_format: format!("bytes=start1-,start2-,...,startn-{qualifier}"),
+            response_format: "n-part response (overlapping)".to_string(),
+        })
     }
 
     fn replies_n_part(&self, vendor: Vendor, n: usize) -> bool {
@@ -680,6 +715,24 @@ mod tests {
         assert_eq!(vendors, vec!["Akamai", "Azure", "StackPath"], "{rows:#?}");
         let azure = rows.iter().find(|r| r.vendor == "Azure").expect("present");
         assert!(azure.vulnerable_format.contains("n ≤ 64"), "{rows:#?}");
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        let scanner = Scanner::default();
+        let digest = |rows: &[Table1Row]| -> Vec<String> {
+            rows.iter()
+                .map(|r| {
+                    format!(
+                        "{}|{}|{}",
+                        r.vendor, r.vulnerable_format, r.forwarded_format
+                    )
+                })
+                .collect()
+        };
+        let seq = digest(&scanner.scan_table1());
+        let par = digest(&scanner.scan_table1_exec(&Executor::new(8)));
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -146,6 +146,24 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Adds `other`'s observations into this histogram bucket-wise.
+    /// Addition is commutative and associative, so merging any number of
+    /// shard histograms yields the same result in any order. The two
+    /// histograms must share bucket bounds (all call sites create a
+    /// metric with fixed bounds); mismatched bounds are a programming
+    /// error and only `other`'s totals are folded in.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.bounds == other.bounds {
+            for (slot, count) in self.counts.iter_mut().zip(&other.counts) {
+                *slot += count;
+            }
+        } else {
+            debug_assert!(false, "histogram bounds mismatch in merge");
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
 }
 
 /// One metric's current value.
@@ -237,6 +255,42 @@ impl MetricsRegistry {
             Some(MetricValue::Gauge(v)) => Some(*v),
             _ => None,
         }
+    }
+
+    /// Folds a snapshot of another registry (typically one executor
+    /// shard's) into this one: counters and histogram buckets add,
+    /// gauges overwrite (last-write-wins), and unseen keys are inserted.
+    ///
+    /// Counter and histogram merges are commutative, so shard snapshots
+    /// with *disjoint or additive* keys merge to the same table in any
+    /// order. Gauge keys are last-write-wins, which is why the parallel
+    /// campaign driver always absorbs shard bundles in **unit order** —
+    /// the merged registry is then a pure function of the unit results,
+    /// independent of shard completion order (see DESIGN.md §8).
+    pub fn absorb_snapshot(&self, snapshot: &MetricsSnapshot) {
+        let mut inner = self.inner.lock();
+        for (key, value) in &snapshot.entries {
+            match inner.metrics.get_mut(key) {
+                None => {
+                    inner.metrics.insert(key.clone(), value.clone());
+                }
+                Some(existing) => match (existing, value) {
+                    (MetricValue::Counter(mine), MetricValue::Counter(theirs)) => *mine += theirs,
+                    (MetricValue::Gauge(mine), MetricValue::Gauge(theirs)) => *mine = *theirs,
+                    (MetricValue::Histogram(mine), MetricValue::Histogram(theirs)) => {
+                        mine.merge(theirs)
+                    }
+                    (existing, value) => {
+                        debug_assert!(false, "metric type mismatch: {existing:?} vs {value:?}")
+                    }
+                },
+            }
+        }
+    }
+
+    /// [`MetricsRegistry::absorb_snapshot`] on a live registry.
+    pub fn absorb(&self, other: &MetricsRegistry) {
+        self.absorb_snapshot(&other.snapshot());
     }
 
     /// A sorted, deep-copied snapshot of every metric.
@@ -461,6 +515,61 @@ mod tests {
         assert!(jsonl.contains("\"type\":\"gauge\",\"value\":1.500000"));
         assert!(jsonl.contains("{\"le\":\"20\",\"count\":1}"));
         assert!(jsonl.contains("{\"le\":\"+Inf\",\"count\":0}"));
+    }
+
+    #[test]
+    fn absorb_adds_counters_and_histograms_and_overwrites_gauges() {
+        let main = MetricsRegistry::new();
+        main.counter_add("c_total", &[("vendor", "Akamai")], 2);
+        main.gauge_set("g", &[], 0.25);
+        main.observe_with("h_bytes", &[], &[10, 20], 5);
+
+        let shard = MetricsRegistry::new();
+        shard.counter_add("c_total", &[("vendor", "Akamai")], 3);
+        shard.counter_add("c_total", &[("vendor", "Fastly")], 1);
+        shard.gauge_set("g", &[], 0.75);
+        shard.observe_with("h_bytes", &[], &[10, 20], 15);
+        shard.observe_with("h_bytes", &[], &[10, 20], 99);
+
+        main.absorb(&shard);
+        assert_eq!(main.counter_value("c_total", &[("vendor", "Akamai")]), 5);
+        assert_eq!(main.counter_value("c_total", &[("vendor", "Fastly")]), 1);
+        assert_eq!(main.gauge_value("g", &[]), Some(0.75));
+        let snap = main.snapshot();
+        let (_, h) = snap
+            .entries
+            .iter()
+            .find(|(k, _)| k.name == "h_bytes")
+            .expect("histogram merged");
+        match h {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count, 3);
+                assert_eq!(h.sum, 119);
+                assert_eq!(h.counts, vec![1, 1, 1]);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absorb_of_disjoint_shards_is_order_independent() {
+        let shard = |vendor: &str, v: u64| {
+            let m = MetricsRegistry::new();
+            m.counter_add("req_total", &[("vendor", vendor)], v);
+            m.gauge_set("ratio", &[("vendor", vendor)], v as f64);
+            m
+        };
+        let (a, b, c) = (shard("A", 1), shard("B", 2), shard("C", 3));
+        let ab = MetricsRegistry::new();
+        ab.absorb(&a);
+        ab.absorb(&b);
+        ab.absorb(&c);
+        let ba = MetricsRegistry::new();
+        ba.absorb(&c);
+        ba.absorb(&a);
+        ba.absorb(&b);
+        assert_eq!(ab.snapshot().render(), ba.snapshot().render());
+        assert_eq!(ab.snapshot().to_jsonl(), ba.snapshot().to_jsonl());
     }
 
     #[test]

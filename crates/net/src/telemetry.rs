@@ -289,6 +289,48 @@ impl Tracer {
         inner.spans.push_back(span);
     }
 
+    /// Absorbs another tracer's flight recorder into this one (the
+    /// executor's shard-merge step): `other`'s spans are appended with
+    /// their span ids and sequence numbers re-based past this tracer's
+    /// counters, preserving parent/child links and relative order.
+    ///
+    /// Trace ids are kept verbatim — they derive from the absorbed
+    /// tracer's own seed, which parallel campaigns derive per *unit*
+    /// (via `rangeamp::executor::unit_seed`), so the merged recorder is
+    /// identical no matter which shard ran the unit. Absorbing unit
+    /// bundles in unit order therefore yields a byte-identical
+    /// [`Tracer::chrome_trace_json`] at any thread count.
+    pub fn absorb(&self, other: &Tracer) {
+        let (spans, other_next_span, other_seq, other_dropped, other_traces) = {
+            let inner = other.inner.lock();
+            (
+                inner.spans.iter().cloned().collect::<Vec<Span>>(),
+                inner.next_span,
+                inner.seq,
+                inner.dropped,
+                inner.traces_started,
+            )
+        };
+        let mut inner = self.inner.lock();
+        let id_base = inner.next_span;
+        let seq_base = inner.seq;
+        for mut span in spans {
+            span.id = SpanId(span.id.0 + id_base);
+            span.parent = span.parent.map(|p| SpanId(p.0 + id_base));
+            span.start_seq += seq_base;
+            span.end_seq += seq_base;
+            if inner.spans.len() == inner.capacity {
+                inner.spans.pop_front();
+                inner.dropped += 1;
+            }
+            inner.spans.push_back(span);
+        }
+        inner.next_span = id_base + other_next_span;
+        inner.seq = seq_base + other_seq;
+        inner.dropped += other_dropped;
+        inner.traces_started += other_traces;
+    }
+
     /// All finished spans still in the flight recorder, oldest first.
     pub fn finished_spans(&self) -> Vec<Span> {
         self.inner.lock().spans.iter().cloned().collect()
@@ -482,6 +524,19 @@ impl Telemetry {
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
     }
+
+    /// Absorbs a unit's telemetry bundle into this one: spans are
+    /// re-based and appended ([`Tracer::absorb`]), counters/histograms
+    /// add and gauges last-write-win
+    /// ([`MetricsRegistry::absorb`](crate::metrics::MetricsRegistry::absorb)).
+    ///
+    /// Parallel campaigns call this once per unit, **in unit order**,
+    /// after all shards have finished — the merged bundle is then a
+    /// pure function of the unit results.
+    pub fn absorb(&self, unit: &Telemetry) {
+        self.tracer.absorb(&unit.tracer);
+        self.metrics.absorb(&unit.metrics);
+    }
 }
 
 /// splitmix64 finalizer — the id mixer (public-domain constant set).
@@ -652,6 +707,73 @@ mod tests {
         // vendored serde_json has no parser.
         assert_eq!(a.matches('{').count(), a.matches('}').count());
         assert_eq!(a.matches('[').count(), a.matches(']').count());
+    }
+
+    #[test]
+    fn absorb_rebases_span_ids_and_sequences() {
+        let main = Tracer::seeded(1);
+        let root = main.start_trace("a", SpanKind::Request, 0);
+        root.finish(1);
+
+        let unit = Tracer::seeded(77);
+        let uroot = unit.start_trace("b", SpanKind::Request, 0);
+        let uroot_id = uroot.id();
+        let child = unit.start_span("c", SpanKind::Hop, 0);
+        child.finish(1);
+        uroot.finish(2);
+
+        main.absorb(&unit);
+        let spans = main.finished_spans();
+        assert_eq!(spans.len(), 3);
+        // Absorbed spans keep their relative structure with re-based ids.
+        let absorbed_root = spans.iter().find(|s| s.name == "b").expect("absorbed");
+        let absorbed_child = spans.iter().find(|s| s.name == "c").expect("absorbed");
+        assert_eq!(absorbed_child.parent, Some(absorbed_root.id));
+        assert!(absorbed_root.id.0 > uroot_id.0, "ids re-based past main's");
+        // Sequence numbers stay globally monotonic (export sorts on them).
+        let mut seqs: Vec<u64> = spans.iter().map(|s| s.start_seq).collect();
+        let sorted = {
+            let mut s = seqs.clone();
+            s.sort_unstable();
+            s
+        };
+        seqs.sort_unstable();
+        assert_eq!(seqs, sorted);
+        assert_eq!(main.trace_count(), 2);
+    }
+
+    #[test]
+    fn absorb_in_unit_order_is_shard_independent() {
+        // Two "units" traced into their own bundles, absorbed in unit
+        // order, must export identically no matter which ran first.
+        let unit = |seed: u64| {
+            let tel = Telemetry::seeded(seed);
+            let mut span = tel
+                .tracer()
+                .start_trace("unit", SpanKind::Request, seed % 5);
+            span.add_bytes_in(seed * 10);
+            span.finish(seed % 5 + 1);
+            tel.metrics()
+                .counter_add("unit_total", &[("seed", &seed.to_string())], seed);
+            tel
+        };
+        let export = |units: Vec<Telemetry>| {
+            let main = Telemetry::seeded(0);
+            for u in &units {
+                main.absorb(u);
+            }
+            (
+                main.tracer().chrome_trace_json(),
+                main.metrics().snapshot().to_jsonl(),
+            )
+        };
+        // Build the units in opposite wall-clock orders; absorb order is
+        // what matters and stays fixed.
+        let (a1, a2) = (unit(3), unit(9));
+        let first = export(vec![a1, a2]);
+        let (b2, b1) = (unit(9), unit(3));
+        let second = export(vec![b1, b2]);
+        assert_eq!(first, second);
     }
 
     #[test]
