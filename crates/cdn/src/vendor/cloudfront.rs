@@ -61,9 +61,12 @@ pub(crate) fn align_down(pos: u64) -> u64 {
     (pos >> CHUNK_SHIFT) << CHUNK_SHIFT
 }
 
-/// `last' = (((last >> 20) + 1) << 20) - 1`.
+/// `last' = (((last >> 20) + 1) << 20) - 1`, i.e. the last byte of the
+/// 1 MB chunk containing `pos`. Written as a bit-or so offsets in the
+/// final chunk of the u64 space (e.g. `bytes=0-18446744073709551615`)
+/// saturate instead of wrapping.
 pub(crate) fn align_up(pos: u64) -> u64 {
-    (((pos >> CHUNK_SHIFT) + 1) << CHUNK_SHIFT) - 1
+    pos | ((1 << CHUNK_SHIFT) - 1)
 }
 
 pub(super) fn handle_miss(ctx: &mut MissCtx<'_>) -> Result<MissResult, UpstreamError> {
@@ -108,7 +111,9 @@ fn handle_multi(ctx: &mut MissCtx<'_>, header: &RangeHeader) -> Result<MissResul
     }
     let first = align_down(min_first);
     let last = align_up(max_last);
-    if last - first + 1 > MULTI_WINDOW_MAX {
+    // span > MULTI_WINDOW_MAX, phrased without the +1 so a window ending
+    // at u64::MAX cannot overflow.
+    if last - first >= MULTI_WINDOW_MAX {
         return laziness(ctx);
     }
     expand_and_serve(ctx, header, first, last)
@@ -221,5 +226,29 @@ mod tests {
     fn suffix_is_relayed_verbatim() {
         let run = run_vendor(Vendor::CloudFront, MB, "bytes=-1");
         assert_eq!(run.forwarded, vec![Some("bytes=-1".to_string())]);
+    }
+
+    #[test]
+    fn u64_boundary_last_saturates_instead_of_wrapping() {
+        // Found by the conformance fuzzer: align_up(u64::MAX) used to wrap
+        // to 0 and panic (debug) or forward bytes=0--1 (release).
+        assert_eq!(align_up(u64::MAX), u64::MAX);
+        assert_eq!(align_down(u64::MAX), !((1u64 << CHUNK_SHIFT) - 1));
+        let run = run_vendor(Vendor::CloudFront, MB, "bytes=0-18446744073709551615");
+        assert_eq!(
+            run.forwarded,
+            vec![Some("bytes=0-18446744073709551615".to_string())]
+        );
+        // Origin clamps the open-to-EOF window; the client sees the file.
+        assert_eq!(run.client_response.body().len(), MB);
+    }
+
+    #[test]
+    fn u64_boundary_multi_window_is_relayed_not_overflowed() {
+        // Companion finding: the 10 MB window test `last - first + 1`
+        // overflowed for all-FromTo sets reaching the end of u64 space.
+        let range = "bytes=0-0,1048576-18446744073709551615";
+        let run = run_vendor(Vendor::CloudFront, MB, range);
+        assert_eq!(run.forwarded, vec![Some(range.to_string())]);
     }
 }

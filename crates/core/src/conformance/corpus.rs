@@ -1,0 +1,113 @@
+//! The committed regression corpus: minimised fuzz findings and
+//! hand-written probes, stored as plain text under `tests/corpus/` and
+//! replayed by an ordinary `cargo test`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use super::case::CorpusEntry;
+use super::oracle::Violation;
+
+/// Loads every corpus entry under `dir`, sorted by file name so replay
+/// order is stable. `README*` files and anything that is not `.txt` are
+/// skipped; a `.txt` file that fails to parse is an error (a corrupt
+/// corpus must fail loudly, not silently lose coverage).
+pub fn load_dir(dir: &Path) -> io::Result<Vec<(String, CorpusEntry)>> {
+    let mut names: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "txt"))
+        .collect();
+    names.sort();
+    let mut entries = Vec::with_capacity(names.len());
+    for path in names {
+        let text = fs::read_to_string(&path)?;
+        let entry = CorpusEntry::from_text(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })?;
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        entries.push((name, entry));
+    }
+    Ok(entries)
+}
+
+/// Writes a minimised finding into `dir` as
+/// `finding-<oracle>-<vendor>-<seq>.txt`, with the violation detail
+/// preserved as a comment header. Returns the path written.
+pub fn write_finding(
+    dir: &Path,
+    violation: &Violation,
+    seq: usize,
+    entry: &CorpusEntry,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let vendor = violation
+        .vendor
+        .map(|v| format!("{v:?}").to_ascii_lowercase())
+        .unwrap_or_else(|| "any".to_string());
+    let path = dir.join(format!(
+        "finding-{}-{vendor}-{seq:02}.txt",
+        violation.oracle
+    ));
+    let mut text = String::new();
+    text.push_str(&format!("# oracle: {}\n", violation.oracle));
+    text.push_str(&format!("# vendor: {vendor}\n"));
+    for line in violation.detail.lines() {
+        text.push_str(&format!("# {line}\n"));
+    }
+    text.push_str(&entry.to_text());
+    fs::write(&path, text)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::case::{FuzzCase, IfRangeKind};
+    use super::*;
+
+    #[test]
+    fn finding_files_roundtrip_through_load_dir() {
+        let dir = std::env::temp_dir().join("rangeamp-corpus-test");
+        let _ = fs::remove_dir_all(&dir);
+        let entry = CorpusEntry::Pipeline(FuzzCase {
+            size: 1024,
+            range: "bytes=0-0".to_string(),
+            expect: None,
+            if_range: IfRangeKind::None,
+            pad: 0,
+        });
+        let violation = Violation {
+            oracle: "policy-model",
+            vendor: None,
+            detail: "expected X\ngot Y".to_string(),
+        };
+        let path = write_finding(&dir, &violation, 3, &entry).expect("write");
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with("finding-policy-model-any-03"));
+        // A README must be ignored.
+        fs::write(dir.join("README.md"), "docs").expect("readme");
+        let loaded = load_dir(&dir).expect("load");
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].1, entry);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_corpus_files_fail_loudly() {
+        let dir = std::env::temp_dir().join("rangeamp-corpus-corrupt");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(dir.join("bad.txt"), "kind: nonsense\n").expect("write");
+        assert!(load_dir(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

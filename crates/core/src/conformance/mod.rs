@@ -1,0 +1,218 @@
+//! Differential conformance harness for the range-rewrite pipeline.
+//!
+//! The harness has four layers:
+//!
+//! * [`case`] — a structure-aware generator for `Range`/`If-Range`
+//!   request cases (plus raw-bytes wire mutations), and the plain-text
+//!   corpus format they are committed in.
+//! * [`model`] — an independent, table-driven prediction of each of the
+//!   13 vendors' back-to-origin forwarding (the paper's Tables I/II).
+//! * [`oracle`] — replays every case through the real
+//!   [`rangeamp_cdn::EdgeNode`] pipeline and cross-checks grammar, wire
+//!   roundtrips, header limits, the forwarding model, coverage
+//!   (never-narrower), RFC 7233 response shape, `If-Range` equivalence,
+//!   amplification monotonicity, and panic-freedom.
+//! * [`mod@shrink`] / [`corpus`] — greedy deterministic minimisation of
+//!   findings, and the committed regression corpus replayed by
+//!   `cargo test`.
+//!
+//! [`run_fuzz`] drives the whole stack on the sharded [`Executor`]: case
+//! `i` is derived only from `(seed, i)` and results are merged in index
+//! order, so the report — including its digest over every per-case
+//! outcome line — is byte-identical at any thread count.
+
+pub mod case;
+pub mod corpus;
+pub mod model;
+pub mod oracle;
+pub mod shrink;
+
+pub use case::{CorpusEntry, FuzzCase, IfRangeKind, WireCase, SIZE_PALETTE};
+pub use model::{expected_forwarding, Fwd};
+pub use oracle::{
+    check_entry, check_monotonicity, check_pipeline, check_pipeline_with_override, check_wire,
+    CaseReport, ConformanceEnv, Violation,
+};
+pub use shrink::shrink;
+
+use crate::Executor;
+
+/// Parameters for a fuzz run.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed; case `i` derives from `(seed, i)` alone.
+    pub seed: u64,
+    /// Number of generated cases.
+    pub cases: u64,
+    /// Every `stride`-th pipeline case additionally runs the
+    /// amplification-monotonicity oracle (it costs extra probes).
+    pub monotonicity_stride: u64,
+    /// Cap on findings that are shrunk and reported in detail.
+    pub max_findings: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            seed: 42,
+            cases: 1000,
+            monotonicity_stride: 8,
+            max_findings: 8,
+        }
+    }
+}
+
+/// One violating case, with its minimised reproducer.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Index of the generated case that first exposed the violation.
+    pub index: u64,
+    /// The violation as reported by the oracle layer.
+    pub violation: Violation,
+    /// The original generated entry.
+    pub entry: CorpusEntry,
+    /// The shrunk entry (possibly identical to `entry`).
+    pub minimized: CorpusEntry,
+}
+
+/// The outcome of a fuzz run. Identical for identical `(seed, cases)`
+/// regardless of executor thread count.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// The master seed used.
+    pub seed: u64,
+    /// Total generated cases.
+    pub cases: u64,
+    /// Cases exercising the full request pipeline.
+    pub pipeline_cases: u64,
+    /// Cases exercising only the wire codec.
+    pub wire_cases: u64,
+    /// Edge probes executed across all oracles.
+    pub probes: u64,
+    /// Total violations observed (before the `max_findings` cap).
+    pub violations: u64,
+    /// FNV-1a digest over every per-case outcome line, in index order.
+    pub digest: u64,
+    /// Shrunk findings, at most `max_findings`.
+    pub findings: Vec<Finding>,
+}
+
+/// Runs the conformance fuzzer: generate → oracle-check in parallel on
+/// `executor`, then shrink any findings sequentially.
+pub fn run_fuzz(config: &FuzzConfig, executor: &Executor) -> FuzzReport {
+    let env = ConformanceEnv::new();
+    let units: Vec<u64> = (0..config.cases).collect();
+    let stride = config.monotonicity_stride.max(1);
+    let results = executor.map(config.seed, units, |_ctx, index| {
+        let entry = case::generate(index, config.seed);
+        let mut report = check_entry(&env, &entry);
+        if let CorpusEntry::Pipeline(pipeline_case) = &entry {
+            if index % stride == 0 {
+                let mono = check_monotonicity(&env, pipeline_case);
+                report.probes += mono.probes;
+                report.violations.extend(mono.violations);
+            }
+        }
+        (index, entry, report)
+    });
+
+    let mut digest = Fnv::new();
+    let mut pipeline_cases = 0u64;
+    let mut wire_cases = 0u64;
+    let mut probes = 0u64;
+    let mut violations = 0u64;
+    let mut findings: Vec<Finding> = Vec::new();
+    for (index, entry, report) in &results {
+        match entry {
+            CorpusEntry::Pipeline(_) => pipeline_cases += 1,
+            CorpusEntry::Wire(_) => wire_cases += 1,
+        }
+        probes += report.probes;
+        violations += report.violations.len() as u64;
+        digest.write(format!("{index}|{}|", report.summary).as_bytes());
+        for v in &report.violations {
+            digest.write(format!("{}:{:?}:{};", v.oracle, v.vendor, v.detail).as_bytes());
+        }
+        digest.write(b"\n");
+        if let Some(first) = report.violations.first() {
+            if findings.len() < config.max_findings {
+                findings.push(Finding {
+                    index: *index,
+                    violation: first.clone(),
+                    entry: entry.clone(),
+                    minimized: entry.clone(),
+                });
+            }
+        }
+    }
+    for finding in &mut findings {
+        finding.minimized = shrink(&env, &finding.entry, &finding.violation);
+    }
+    FuzzReport {
+        seed: config.seed,
+        cases: config.cases,
+        pipeline_cases,
+        wire_cases,
+        probes,
+        violations,
+        digest: digest.finish(),
+        findings,
+    }
+}
+
+/// 64-bit FNV-1a, the digest used for thread-invariance witnessing.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzz_smoke_run_is_clean_and_thread_invariant() {
+        let config = FuzzConfig {
+            seed: 42,
+            cases: 48,
+            ..FuzzConfig::default()
+        };
+        let sequential = run_fuzz(&config, &Executor::sequential());
+        assert_eq!(
+            sequential.violations, 0,
+            "findings: {:#?}",
+            sequential.findings
+        );
+        assert_eq!(
+            sequential.pipeline_cases + sequential.wire_cases,
+            config.cases
+        );
+        assert!(sequential.probes > 0);
+        let threaded = run_fuzz(&config, &Executor::new(4));
+        assert_eq!(sequential.digest, threaded.digest);
+        assert_eq!(sequential.probes, threaded.probes);
+    }
+
+    #[test]
+    fn fnv_digest_is_order_sensitive() {
+        let mut a = Fnv::new();
+        a.write(b"ab");
+        let mut b = Fnv::new();
+        b.write(b"ba");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,299 @@
+//! Deterministic greedy shrinking for fuzz findings.
+//!
+//! A finding is minimised against the predicate "the same (oracle, vendor)
+//! violation still fires". Candidates are generated in a fixed order and a
+//! candidate is only accepted when its shrink cost is *strictly* smaller, so
+//! the loop terminates without an evaluation budget — the budget below is
+//! just a belt-and-braces cap on probe work.
+
+use super::case::{CorpusEntry, FuzzCase, IfRangeKind, SIZE_PALETTE};
+use super::oracle::{check_entry, ConformanceEnv, Violation};
+
+/// Upper bound on candidate evaluations per shrink.
+const DEFAULT_EVALS: u32 = 200;
+
+/// Fixed replacement headers tried before fine-grained edits; each is a
+/// one-line repro when it reproduces the violation.
+const ARCHETYPES: [&str; 6] = [
+    "bytes=0-0",
+    "bytes=-1",
+    "bytes=0-",
+    "bytes=0-0,2-2",
+    "bytes=5-2",
+    "bytes=-",
+];
+
+/// Minimises `entry` while `violation`'s (oracle, vendor) pair keeps
+/// firing. Returns the smallest reproducer found (possibly the original).
+pub fn shrink(env: &ConformanceEnv, entry: &CorpusEntry, violation: &Violation) -> CorpusEntry {
+    let reproduces = |candidate: &CorpusEntry| {
+        check_entry(env, candidate)
+            .violations
+            .iter()
+            .any(|v| v.oracle == violation.oracle && v.vendor == violation.vendor)
+    };
+    let mut best = entry.clone();
+    let mut evals = 0u32;
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&best) {
+            if evals >= DEFAULT_EVALS {
+                return best;
+            }
+            if cost(&candidate) >= cost(&best) {
+                continue;
+            }
+            evals += 1;
+            if reproduces(&candidate) {
+                best = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// Shrink order for comparing candidates: palette position, then header
+/// complexity, then the auxiliary request dimensions. Every accepted step
+/// strictly decreases this, which bounds the loop.
+fn cost(entry: &CorpusEntry) -> (u64, u64, u128, u64, u64, u64) {
+    match entry {
+        CorpusEntry::Wire(w) => (u64::MAX, w.raw.len() as u64, 0, 0, 0, 0),
+        CorpusEntry::Pipeline(c) => {
+            let size_idx = SIZE_PALETTE
+                .iter()
+                .position(|&s| s == c.size)
+                .unwrap_or(SIZE_PALETTE.len()) as u64;
+            (
+                size_idx,
+                c.range.len() as u64,
+                digit_weight(&c.range),
+                u64::from(c.if_range != IfRangeKind::None),
+                u64::from(c.pad),
+                u64::from(c.expect.is_some()),
+            )
+        }
+    }
+}
+
+/// Sum of the numeric literals in a header value — lets number-halving
+/// count as progress even when the string length is unchanged.
+fn digit_weight(value: &str) -> u128 {
+    let mut total: u128 = 0;
+    let mut current: u128 = 0;
+    let mut in_number = false;
+    for ch in value.chars() {
+        if let Some(d) = ch.to_digit(10) {
+            current = current.saturating_mul(10).saturating_add(u128::from(d));
+            in_number = true;
+        } else if in_number {
+            total = total.saturating_add(current);
+            current = 0;
+            in_number = false;
+        }
+    }
+    total.saturating_add(current)
+}
+
+fn candidates(entry: &CorpusEntry) -> Vec<CorpusEntry> {
+    match entry {
+        CorpusEntry::Pipeline(case) => pipeline_candidates(case)
+            .into_iter()
+            .map(CorpusEntry::Pipeline)
+            .collect(),
+        CorpusEntry::Wire(wire) => wire_candidates(&wire.raw)
+            .into_iter()
+            .map(|raw| CorpusEntry::Wire(super::case::WireCase { raw }))
+            .collect(),
+    }
+}
+
+fn pipeline_candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+    let mut push = |mutated: FuzzCase| out.push(mutated);
+
+    if case.if_range != IfRangeKind::None {
+        let mut c = case.clone();
+        c.if_range = IfRangeKind::None;
+        push(c);
+    }
+    if case.pad > 0 {
+        let mut c = case.clone();
+        c.pad = 0;
+        push(c);
+    }
+    if case.expect.is_some() {
+        let mut c = case.clone();
+        c.expect = None;
+        push(c);
+    }
+    for &size in &SIZE_PALETTE {
+        if size < case.size {
+            let mut c = case.clone();
+            c.size = size;
+            push(c);
+        }
+    }
+    for archetype in ARCHETYPES {
+        if case.range != archetype {
+            let mut c = case.clone();
+            c.range = archetype.to_string();
+            c.expect = None;
+            push(c);
+        }
+    }
+    // Drop individual specs from a multi-range set.
+    if case.range.contains(',') {
+        let pieces: Vec<&str> = case.range.split(',').collect();
+        for skip in 0..pieces.len() {
+            let kept: Vec<&str> = pieces
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, p)| *p)
+                .collect();
+            let mut c = case.clone();
+            c.range = kept.join(",");
+            push(c);
+        }
+    }
+    // Halve each numeric literal.
+    for (start, len) in number_spans(&case.range) {
+        let number: u128 = case.range[start..start + len].parse().unwrap_or(0);
+        if number > 0 {
+            let mut c = case.clone();
+            c.range = format!(
+                "{}{}{}",
+                &case.range[..start],
+                number / 2,
+                &case.range[start + len..]
+            );
+            push(c);
+        }
+    }
+    // Character-level reduction.
+    if case.range.len() > 64 {
+        let mut c = case.clone();
+        let half: String = case.range.chars().take(case.range.len() / 2).collect();
+        c.range = half;
+        push(c);
+    } else {
+        for i in 0..case.range.len() {
+            if case.range.is_char_boundary(i) {
+                let mut c = case.clone();
+                let mut reduced = String::with_capacity(case.range.len());
+                for (j, ch) in case.range.char_indices() {
+                    if j != i {
+                        reduced.push(ch);
+                    }
+                }
+                c.range = reduced;
+                push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Byte spans of maximal ASCII digit runs.
+fn number_spans(value: &str) -> Vec<(usize, usize)> {
+    let bytes = value.as_bytes();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            spans.push((start, i - start));
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+fn wire_candidates(raw: &[u8]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    if raw.len() > 1 {
+        out.push(raw[..raw.len() / 2].to_vec());
+        out.push(raw[..raw.len() - 1].to_vec());
+    }
+    // Remove 8-byte chunks.
+    let chunk = 8;
+    let mut offset = 0;
+    while offset + chunk <= raw.len() {
+        let mut shorter = Vec::with_capacity(raw.len() - chunk);
+        shorter.extend_from_slice(&raw[..offset]);
+        shorter.extend_from_slice(&raw[offset + chunk..]);
+        out.push(shorter);
+        offset += chunk;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::case::WireCase;
+    use super::*;
+
+    #[test]
+    fn digit_weight_sums_literals() {
+        assert_eq!(digit_weight("bytes=0-0"), 0);
+        assert_eq!(digit_weight("bytes=100-200,5-"), 305);
+        assert_eq!(digit_weight("no digits"), 0);
+    }
+
+    #[test]
+    fn cost_orders_palette_then_header() {
+        let small = CorpusEntry::Pipeline(FuzzCase {
+            size: SIZE_PALETTE[0],
+            range: "bytes=0-0".to_string(),
+            expect: None,
+            if_range: IfRangeKind::None,
+            pad: 0,
+        });
+        let large = CorpusEntry::Pipeline(FuzzCase {
+            size: SIZE_PALETTE[4],
+            range: "bytes=0-0".to_string(),
+            expect: None,
+            if_range: IfRangeKind::None,
+            pad: 0,
+        });
+        assert!(cost(&small) < cost(&large));
+    }
+
+    #[test]
+    fn candidates_are_deterministic_and_always_cheaper_when_accepted() {
+        let case = FuzzCase {
+            size: SIZE_PALETTE[3],
+            range: "bytes=0-0,100-200".to_string(),
+            expect: None,
+            if_range: IfRangeKind::MatchingEtag,
+            pad: 64,
+        };
+        let entry = CorpusEntry::Pipeline(case);
+        let first = candidates(&entry);
+        let second = candidates(&entry);
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.to_text(), b.to_text());
+        }
+    }
+
+    #[test]
+    fn wire_candidates_only_shrink() {
+        let raw = b"GET / HTTP/1.1\r\nHost: x\r\n\r\n".to_vec();
+        for cand in wire_candidates(&raw) {
+            assert!(cand.len() < raw.len());
+        }
+        let entry = CorpusEntry::Wire(WireCase { raw: raw.clone() });
+        for cand in candidates(&entry) {
+            assert!(cost(&cand) < cost(&entry));
+        }
+    }
+}

@@ -26,6 +26,10 @@
 //!   detectability analysis.
 //! * [`executor::Executor`] shards every campaign across OS threads
 //!   with byte-identical output at any `--threads N` (DESIGN.md §8).
+//! * [`conformance`] cross-checks the whole range-rewrite pipeline
+//!   against an independent model of the paper's Tables I/II with a
+//!   structure-aware fuzzer, and replays its minimised findings from a
+//!   committed corpus (DESIGN.md §9).
 //!
 //! ## Quickstart
 //!
@@ -44,6 +48,7 @@
 pub mod amplification;
 pub mod attack;
 pub mod chaos;
+pub mod conformance;
 pub mod executor;
 pub mod mitigation;
 pub mod report;

@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use super::{ByteRangeSpec, RangeHeader};
+use crate::error::{Error, Result};
 
 /// The structural family a generated case belongs to, so the scanner can
 /// attribute observed behaviour to a range format (Table I column 2).
@@ -86,8 +87,48 @@ impl RangeRequestGenerator {
         self.case_of_kind(kind)
     }
 
+    /// Fallible [`next_case`](RangeRequestGenerator::next_case): an
+    /// [`Error::InvalidRange`] marks a generator/parser disagreement the
+    /// fuzzer records as a finding instead of aborting the run.
+    pub fn try_next_case(&mut self) -> Result<RangeRequestCase> {
+        let kind = RangeCaseKind::ALL[self.rng.gen_range(0..RangeCaseKind::ALL.len())];
+        self.try_case_of_kind(kind)
+    }
+
     /// Generates a case of a specific kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated header does not survive the strict-parser
+    /// roundtrip — use
+    /// [`try_case_of_kind`](RangeRequestGenerator::try_case_of_kind) to
+    /// handle that as an error instead.
     pub fn case_of_kind(&mut self, kind: RangeCaseKind) -> RangeRequestCase {
+        self.try_case_of_kind(kind)
+            .expect("generated header must survive the parser roundtrip")
+    }
+
+    /// Fallible [`case_of_kind`](RangeRequestGenerator::case_of_kind):
+    /// every constructed header is checked against the strict ABNF parser
+    /// (display → parse → compare), and a disagreement comes back as
+    /// [`Error::InvalidRange`] rather than a panic.
+    pub fn try_case_of_kind(&mut self, kind: RangeCaseKind) -> Result<RangeRequestCase> {
+        let header = self.build_header(kind)?;
+        let text = header.to_string();
+        let reparsed = RangeHeader::parse(&text).map_err(|e| {
+            Error::InvalidRange(format!(
+                "generated {kind:?} header {text:?} rejected by the parser: {e}"
+            ))
+        })?;
+        if reparsed != header {
+            return Err(Error::InvalidRange(format!(
+                "generator/parser disagreement on {text:?}: reparsed as {reparsed}"
+            )));
+        }
+        Ok(RangeRequestCase { kind, header })
+    }
+
+    fn build_header(&mut self, kind: RangeCaseKind) -> Result<RangeHeader> {
         let header = match kind {
             RangeCaseKind::SmallFromTo => {
                 let first = self.rng.gen_range(0..self.file_size);
@@ -115,14 +156,14 @@ impl RangeRequestGenerator {
                         }
                     })
                     .collect();
-                RangeHeader::new(specs).expect("disjoint specs are valid")
+                RangeHeader::new(specs)?
             }
             RangeCaseKind::MultiOverlapping => {
                 let count = self.rng.gen_range(3..=16usize);
                 RangeHeader::overlapping(count)
             }
         };
-        RangeRequestCase { kind, header }
+        Ok(header)
     }
 
     /// Generates `count` cases.
@@ -138,6 +179,187 @@ impl RangeRequestGenerator {
             .map(|&kind| self.case_of_kind(kind))
             .collect()
     }
+
+    /// Generates the next raw-header case, cycling uniformly over
+    /// [`RawRangeFamily::ALL`].
+    pub fn next_raw_case(&mut self) -> RawRangeCase {
+        let family = RawRangeFamily::ALL[self.rng.gen_range(0..RawRangeFamily::ALL.len())];
+        self.raw_case_of_family(family)
+    }
+
+    /// Generates a raw-header case of a specific family.
+    pub fn raw_case_of_family(&mut self, family: RawRangeFamily) -> RawRangeCase {
+        use RawRangeFamily::*;
+        let fs = self.file_size;
+        let value = match family {
+            Canonical => self
+                .try_next_case()
+                .map(|case| case.header.to_string())
+                .unwrap_or_else(|_| "bytes=0-0".to_string()),
+            SuffixTail => format!("bytes=-{}", self.rng.gen_range(0..=fs.saturating_mul(2))),
+            HugeLast => match self.rng.gen_range(0..3u8) {
+                0 => "bytes=0-18446744073709551615".to_string(),
+                1 => format!("bytes={}-18446744073709551615", self.rng.gen_range(0..fs)),
+                _ => "bytes=18446744073709551614-18446744073709551615".to_string(),
+            },
+            WhitespaceList => {
+                let specs: Vec<String> = (0..self.rng.gen_range(2..=4u64))
+                    .map(|i| format!("{}-{}", i * 10, i * 10 + self.rng.gen_range(0..5u64)))
+                    .collect();
+                let sep = [", ", " , ", ",\t", ",,", ", , "][self.rng.gen_range(0..5usize)];
+                let unit = ["bytes=", "bytes ="][self.rng.gen_range(0..2usize)];
+                format!("{unit}{}", specs.join(sep))
+            }
+            DescendingSet => {
+                let hi = self.rng.gen_range(fs / 2..fs).max(1);
+                let lo_last = self.rng.gen_range(0..hi);
+                format!("bytes={hi}-{},0-{lo_last}", hi.saturating_add(9))
+            }
+            ManySmall => {
+                let count = self.rng.gen_range(32..=100u64);
+                let specs: Vec<String> = (0..count).map(|i| format!("{0}-{0}", i * 2)).collect();
+                format!("bytes={}", specs.join(","))
+            }
+            CaseUnit => {
+                let unit = ["Bytes", "BYTES", "bYtEs"][self.rng.gen_range(0..3usize)];
+                format!("{unit}=0-{}", self.rng.gen_range(0..fs))
+            }
+            UnknownUnit => {
+                ["bits=0-1", "octets=0-100", "chars=-5"][self.rng.gen_range(0..3usize)].to_string()
+            }
+            ReversedBounds => {
+                let lo = self.rng.gen_range(0..fs);
+                format!("bytes={}-{lo}", lo.saturating_add(self.rng.gen_range(1..9)))
+            }
+            OverflowOffset => [
+                "bytes=0-18446744073709551616",
+                "bytes=99999999999999999999-",
+                "bytes=-18446744073709551616",
+            ][self.rng.gen_range(0..3usize)]
+            .to_string(),
+            BareSuffix => "bytes=-".to_string(),
+            EmptySet => ["bytes=", "bytes", "bytes=,", "bytes=, ,"][self.rng.gen_range(0..4usize)]
+                .to_string(),
+            MissingEquals => format!("bytes 0-{}", self.rng.gen_range(0..fs)),
+            PlusSign => "bytes=+1-2".to_string(),
+            InnerSpace => ["bytes=1 -2", "bytes=1- 2", "bytes=0 - 0"]
+                [self.rng.gen_range(0..3usize)]
+            .to_string(),
+            DoubleDash => ["bytes=--5", "bytes=0--5"][self.rng.gen_range(0..2usize)].to_string(),
+            Garbage => {
+                const ALPHABET: &[u8] = b"abz019-,;=~ ";
+                let len = self.rng.gen_range(1..=20usize);
+                let junk: String = (0..len)
+                    .map(|_| ALPHABET[self.rng.gen_range(0..ALPHABET.len())] as char)
+                    .collect();
+                format!("x-{junk}")
+            }
+        };
+        RawRangeCase {
+            family,
+            expectation: family.expectation(),
+            value,
+        }
+    }
+}
+
+/// The structural family of a raw (possibly malformed) `Range` header
+/// value produced for the conformance fuzzer — boundary shapes, syntax
+/// torture, and outright garbage, alongside the canonical valid cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RawRangeFamily {
+    /// A canonical valid header from the ABNF generator.
+    Canonical,
+    /// `bytes=-N` suffixes, including the degenerate `bytes=-0`.
+    SuffixTail,
+    /// Last-byte offsets at the top of the u64 space.
+    HugeLast,
+    /// Valid sets with RFC 7230 list extensions: optional whitespace and
+    /// empty elements around commas, and a space before `=`.
+    WhitespaceList,
+    /// Valid sets listed in descending byte order.
+    DescendingSet,
+    /// 32–100 tiny disjoint ranges (the origin's egregious-set shape).
+    ManySmall,
+    /// `Bytes=`/`BYTES=` unit-case variants (rejected by the strict
+    /// parser, so the pipeline must treat the header as absent).
+    CaseUnit,
+    /// Unknown range units (`bits=`, `octets=`…).
+    UnknownUnit,
+    /// `bytes=9-2` reversed bounds.
+    ReversedBounds,
+    /// Offsets that overflow u64.
+    OverflowOffset,
+    /// The bare `bytes=-`.
+    BareSuffix,
+    /// Empty or all-empty range sets.
+    EmptySet,
+    /// Missing `=` after the unit.
+    MissingEquals,
+    /// Signed decimals (`+1`), invalid per `1*DIGIT`.
+    PlusSign,
+    /// Whitespace inside a range spec.
+    InnerSpace,
+    /// Doubled dashes.
+    DoubleDash,
+    /// Unstructured junk that must never parse.
+    Garbage,
+}
+
+impl RawRangeFamily {
+    /// All families, in generation order.
+    pub const ALL: [RawRangeFamily; 17] = [
+        RawRangeFamily::Canonical,
+        RawRangeFamily::SuffixTail,
+        RawRangeFamily::HugeLast,
+        RawRangeFamily::WhitespaceList,
+        RawRangeFamily::DescendingSet,
+        RawRangeFamily::ManySmall,
+        RawRangeFamily::CaseUnit,
+        RawRangeFamily::UnknownUnit,
+        RawRangeFamily::ReversedBounds,
+        RawRangeFamily::OverflowOffset,
+        RawRangeFamily::BareSuffix,
+        RawRangeFamily::EmptySet,
+        RawRangeFamily::MissingEquals,
+        RawRangeFamily::PlusSign,
+        RawRangeFamily::InnerSpace,
+        RawRangeFamily::DoubleDash,
+        RawRangeFamily::Garbage,
+    ];
+
+    /// What the strict parser must do with values of this family.
+    pub fn expectation(self) -> ParseExpectation {
+        use RawRangeFamily::*;
+        match self {
+            Canonical | SuffixTail | HugeLast | WhitespaceList | DescendingSet | ManySmall => {
+                ParseExpectation::Parses
+            }
+            _ => ParseExpectation::Rejected,
+        }
+    }
+}
+
+/// The grammar oracle's verdict a [`RawRangeFamily`] is generated under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParseExpectation {
+    /// [`RangeHeader::parse`] must accept the value.
+    Parses,
+    /// [`RangeHeader::parse`] must reject the value (and the pipeline
+    /// must then ignore the header per RFC 7233 §3.1).
+    Rejected,
+}
+
+/// A raw `Range` header value plus the family it was drawn from and the
+/// parse outcome the grammar demands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawRangeCase {
+    /// The generation family.
+    pub family: RawRangeFamily,
+    /// What the parser must do with it.
+    pub expectation: ParseExpectation,
+    /// The raw header value.
+    pub value: String,
 }
 
 #[cfg(test)]
@@ -146,13 +368,72 @@ mod tests {
 
     #[test]
     fn all_generated_cases_reparse() {
+        // The roundtrip check lives inside try_case_of_kind now: a
+        // generator/parser disagreement is an Err (a recordable fuzzer
+        // finding), never a panic.
         let mut gen = RangeRequestGenerator::new(42, 10 * 1024 * 1024);
-        for case in gen.cases(500) {
-            let text = case.header.to_string();
-            let reparsed = RangeHeader::parse(&text)
-                .unwrap_or_else(|e| panic!("generated invalid header {text:?}: {e}"));
-            assert_eq!(reparsed, case.header);
+        for _ in 0..500 {
+            let case = gen
+                .try_next_case()
+                .expect("generator and parser agree on every seed-42 case");
+            assert_eq!(
+                RangeHeader::parse(&case.header.to_string()).as_ref(),
+                Ok(&case.header)
+            );
         }
+    }
+
+    #[test]
+    fn fallible_and_panicking_paths_agree() {
+        let mut a = RangeRequestGenerator::new(11, 1 << 20);
+        let mut b = RangeRequestGenerator::new(11, 1 << 20);
+        for kind in RangeCaseKind::ALL {
+            assert_eq!(a.case_of_kind(kind), b.try_case_of_kind(kind).unwrap());
+        }
+    }
+
+    #[test]
+    fn raw_families_meet_their_parse_expectation() {
+        let mut gen = RangeRequestGenerator::new(42, 1 << 20);
+        for _ in 0..500 {
+            let case = gen.next_raw_case();
+            let parsed = RangeHeader::parse(&case.value);
+            match case.expectation {
+                ParseExpectation::Parses => {
+                    let header = parsed.unwrap_or_else(|e| {
+                        panic!("{:?} value {:?} must parse: {e}", case.family, case.value)
+                    });
+                    // Canonical display is parse-stable.
+                    assert_eq!(RangeHeader::parse(&header.to_string()), Ok(header));
+                }
+                ParseExpectation::Rejected => assert!(
+                    parsed.is_err(),
+                    "{:?} value {:?} must be rejected, parsed as {:?}",
+                    case.family,
+                    case.value,
+                    parsed
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn raw_cases_deterministic_for_same_seed() {
+        let mut a = RangeRequestGenerator::new(5, 4096);
+        let mut b = RangeRequestGenerator::new(5, 4096);
+        for _ in 0..200 {
+            assert_eq!(a.next_raw_case(), b.next_raw_case());
+        }
+    }
+
+    #[test]
+    fn every_raw_family_is_reachable() {
+        let mut gen = RangeRequestGenerator::new(1, 4096);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(gen.next_raw_case().family);
+        }
+        assert_eq!(seen.len(), RawRangeFamily::ALL.len());
     }
 
     #[test]

@@ -11,7 +11,10 @@ mod gen;
 mod parse;
 mod satisfy;
 
-pub use gen::{RangeCaseKind, RangeRequestCase, RangeRequestGenerator};
+pub use gen::{
+    ParseExpectation, RangeCaseKind, RangeRequestCase, RangeRequestGenerator, RawRangeCase,
+    RawRangeFamily,
+};
 pub use satisfy::{coalesce, total_span, RangeSet};
 
 use std::fmt;

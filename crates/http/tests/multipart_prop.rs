@@ -1,0 +1,99 @@
+//! Property tests for `multipart/byteranges` assembly: encode→decode must
+//! preserve part count, part order, `Content-Range` bounds, and part
+//! bodies — for empty, single-part, and wide (64-part, OBR-shaped)
+//! payloads alike.
+
+use proptest::prelude::*;
+
+use rangeamp_http::multipart::{self, MultipartBuilder, DEFAULT_BOUNDARY};
+use rangeamp_http::range::{ContentRange, ResolvedRange};
+use rangeamp_http::Body;
+
+/// Deterministic representation bytes, so part bodies are checkable
+/// slices rather than opaque blobs.
+fn representation(len: u64) -> Vec<u8> {
+    (0..len).map(|i| (i * 31 + 7) as u8).collect()
+}
+
+/// Builds the payload for `ranges` over a `complete_length`-byte
+/// representation, then decodes it and checks every preserved property.
+fn roundtrip(ranges: &[ResolvedRange], complete_length: u64) {
+    let data = representation(complete_length);
+    let mut builder = MultipartBuilder::new("application/octet-stream", complete_length);
+    for r in ranges {
+        let body = Body::from(data[r.first as usize..=r.last as usize].to_vec());
+        builder = builder.part(*r, body);
+    }
+    assert_eq!(builder.part_count(), ranges.len());
+    let payload = builder.build();
+    let content_type = builder.content_type_header();
+    let boundary = content_type
+        .strip_prefix("multipart/byteranges; boundary=")
+        .expect("canonical content type");
+    assert_eq!(boundary, DEFAULT_BOUNDARY);
+
+    let parts = multipart::parse(payload.as_bytes(), boundary).expect("payload parses back");
+    assert_eq!(parts.len(), ranges.len(), "part count preserved");
+    for (part, range) in parts.iter().zip(ranges) {
+        assert_eq!(part.content_type, "application/octet-stream");
+        assert_eq!(
+            part.content_range,
+            ContentRange::Satisfied {
+                range: *range,
+                complete_length
+            },
+            "Content-Range bounds preserved"
+        );
+        assert_eq!(
+            part.body.as_bytes(),
+            &data[range.first as usize..=range.last as usize],
+            "part body preserved"
+        );
+    }
+}
+
+#[test]
+fn zero_part_payload_roundtrips() {
+    // RFC 2046 requires at least the closing boundary even with no parts;
+    // the decoder must yield an empty part list, not an error.
+    roundtrip(&[], 1024);
+}
+
+#[test]
+fn sixty_four_identical_parts_roundtrip() {
+    // The OBR shape: many copies of the same small range. 64 parts is
+    // the Azure/Apache per-request ceiling exercised elsewhere.
+    let ranges = vec![ResolvedRange { first: 0, last: 9 }; 64];
+    roundtrip(&ranges, 1024);
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_part_sets_roundtrip(
+        complete_length in 1u64..4096,
+        raw in proptest::collection::vec((0u64..4096, 1u64..64), 0..64),
+    ) {
+        // Clamp the raw (start, len) pairs into valid ranges; duplicates
+        // and overlaps are intentionally allowed (the builder is
+        // policy-free by design).
+        let ranges: Vec<ResolvedRange> = raw
+            .iter()
+            .map(|&(start, len)| {
+                let first = start % complete_length;
+                let last = (first + len - 1).min(complete_length - 1);
+                ResolvedRange { first, last }
+            })
+            .collect();
+        roundtrip(&ranges, complete_length);
+    }
+
+    #[test]
+    fn single_part_roundtrips_at_any_offset(
+        complete_length in 1u64..65536,
+        start in 0u64..65536,
+    ) {
+        let first = start % complete_length;
+        let last = complete_length - 1;
+        roundtrip(&[ResolvedRange { first, last }], complete_length);
+    }
+}

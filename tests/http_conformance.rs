@@ -210,3 +210,71 @@ fn wire_round_trip_preserves_everything() {
     assert_eq!(parsed, req);
     assert_eq!(parsed.wire_len(), req.wire_len());
 }
+
+#[test]
+fn malformed_range_headers_are_ignored_end_to_end() {
+    // RFC 7233 §3.1: "An origin server MUST ignore a Range header field
+    // that contains a range unit it does not understand" — and a header
+    // that fails the byte-ranges grammar is no Range header at all. Each
+    // of these must produce a plain 200 with the full representation,
+    // never a 416 or a partial reply.
+    let origin = origin_with("/f.bin", 4096);
+    for malformed in [
+        "bits=0-1",
+        "bytes=5-2",
+        "bytes=-",
+        "bytes=--1",
+        "bytes=0--5",
+    ] {
+        assert!(
+            RangeHeader::parse(malformed).is_err(),
+            "{malformed} must be rejected by the parser"
+        );
+        let req = Request::get("/f.bin")
+            .header("Host", "example.com")
+            .header("Range", malformed)
+            .build();
+        let resp = origin.handle(&req);
+        assert_eq!(resp.status(), StatusCode::OK, "{malformed}");
+        assert_eq!(resp.body().len(), 4096, "{malformed}");
+        assert_eq!(resp.headers().get("content-range"), None, "{malformed}");
+    }
+}
+
+#[test]
+fn u64_overflow_offsets_are_rejected_not_wrapped() {
+    // The largest representable offsets stay valid...
+    let max = u64::MAX;
+    let edge = RangeHeader::parse(&format!("bytes=0-{max}")).expect("u64::MAX last is valid");
+    assert_eq!(
+        edge.specs(),
+        &[ByteRangeSpec::FromTo {
+            first: 0,
+            last: max
+        }]
+    );
+    assert!(RangeHeader::parse(&format!("bytes={max}-")).is_ok());
+    assert!(RangeHeader::parse(&format!("bytes=-{max}")).is_ok());
+    // ...and one past them must fail at parse time (a wrap to small
+    // offsets would silently turn a rejection into a satisfiable range).
+    for overflow in [
+        "bytes=18446744073709551616-",
+        "bytes=0-18446744073709551616",
+        "bytes=-18446744073709551616",
+        "bytes=18446744073709551616-18446744073709551617",
+        "bytes=99999999999999999999999999-",
+    ] {
+        assert!(
+            RangeHeader::parse(overflow).is_err(),
+            "{overflow} should be rejected"
+        );
+        let origin = origin_with("/f.bin", 100);
+        let req = Request::get("/f.bin")
+            .header("Host", "example.com")
+            .header("Range", overflow)
+            .build();
+        let resp = origin.handle(&req);
+        assert_eq!(resp.status(), StatusCode::OK, "{overflow}");
+        assert_eq!(resp.body().len(), 100, "{overflow}");
+    }
+}
