@@ -48,22 +48,22 @@ fn main() {
     write_json(dir, "fig7.json", &fig7);
 
     eprintln!("== Dropped-GET comparison (§VIII) ==");
-    let dropped = rangeamp::attack::compare_with_sbr(10 * 1024 * 1024);
+    let executor = rangeamp::executor::Executor::sequential();
+    let dropped = rangeamp_bench::dropped_get_rows_exec(10 * 1024 * 1024, &executor);
     write_json(dir, "dropped_get.json", &dropped);
 
     eprintln!("== HTTP/2 applicability (§VI-B) ==");
-    let h2: Vec<_> = rangeamp_cdn::Vendor::ALL
-        .iter()
-        .map(|&vendor| {
-            let report = rangeamp::attack::SbrAttack::new(vendor, 10 * 1024 * 1024).run();
-            serde_json::json!({
-                "vendor": vendor.name(),
-                "factor_h1": report.amplification_factor(),
-                "factor_h2": report.amplification_factor_h2(),
-            })
-        })
-        .collect();
+    let h2 = rangeamp_bench::h2_rows_exec(&executor);
     write_json(dir, "h2_check.json", &h2);
+
+    eprintln!("== Online defense evaluation (DESIGN.md §12) ==");
+    let defense = rangeamp_bench::defense_eval_reports_exec(
+        &rangeamp::defense_eval::DefenseEvalConfig::default(),
+        &executor,
+        2020,
+    );
+    println!("{}", rangeamp_bench::render_defense_eval(&defense));
+    write_json(dir, "defense.json", &defense);
 
     eprintln!("all experiments complete; JSON in {}", dir.display());
 }

@@ -2,17 +2,20 @@
 //! which vendors defeat it by breaking back-end connections, and how the
 //! SBR attack bypasses that defense entirely.
 //!
+//! Accepts the shared harness flags (`--json`, `--threads`); output is
+//! byte-identical at any thread count.
+//!
 //! ```text
 //! cargo run -p rangeamp-bench --release --bin dropped_get
 //! ```
 
-use rangeamp::attack::{compare_with_sbr, DroppedGetAttack};
 use rangeamp::report::TextTable;
-use rangeamp_cdn::Vendor;
+use rangeamp_bench::BenchCli;
 
 fn main() {
+    let cli = BenchCli::parse();
     const MB: u64 = 1024 * 1024;
-    let size = 10 * MB;
+    let rows = rangeamp_bench::dropped_get_rows_exec(10 * MB, &cli.executor());
 
     let mut table = TextTable::new(
         "Dropped-GET (Triukose et al.) vs SBR — origin response bytes per attack round (10 MB resource)",
@@ -24,14 +27,12 @@ fn main() {
             "SBR origin bytes",
         ],
     );
-    let comparison = compare_with_sbr(size);
-    for (vendor, row) in Vendor::ALL.iter().zip(&comparison) {
-        let dropped = DroppedGetAttack::new(*vendor, size).run();
+    for row in &rows {
         table.row(vec![
             row.vendor.clone(),
-            dropped.keeps_backend_alive.to_string(),
+            row.keeps_backend_alive.to_string(),
             row.dropped_get_origin_bytes.to_string(),
-            dropped.defense_effective(size).to_string(),
+            row.defense_works.to_string(),
             row.sbr_origin_bytes.to_string(),
         ]);
     }
@@ -41,4 +42,5 @@ fn main() {
          (defense works; CDN77/CDNsun do not), but the SBR column shows the defense \
          is invalid under RangeAmp — the attacker never aborts."
     );
+    cli.write_json(&rows);
 }

@@ -3,29 +3,30 @@
 //! metered under both framings; this bin prints the SBR amplification
 //! factor side by side.
 //!
+//! Accepts the shared harness flags (`--json`, `--threads`); output is
+//! byte-identical at any thread count.
+//!
 //! ```text
 //! cargo run -p rangeamp-bench --release --bin h2_check
 //! ```
 
-use rangeamp::attack::SbrAttack;
 use rangeamp::report::TextTable;
-use rangeamp_cdn::Vendor;
+use rangeamp_bench::BenchCli;
 
 fn main() {
-    const MB: u64 = 1024 * 1024;
+    let cli = BenchCli::parse();
+    let rows = rangeamp_bench::h2_rows_exec(&cli.executor());
+
     let mut table = TextTable::new(
         "SBR amplification under HTTP/1.1 vs HTTP/2 framing (10 MB resource)",
         &["CDN", "factor (h1)", "factor (h2)", "h2/h1"],
     );
-    for vendor in Vendor::ALL {
-        let report = SbrAttack::new(vendor, 10 * MB).run();
-        let h1 = report.amplification_factor();
-        let h2 = report.amplification_factor_h2();
+    for row in &rows {
         table.row(vec![
-            vendor.name().to_string(),
-            format!("{h1:.0}"),
-            format!("{h2:.0}"),
-            format!("{:.2}", h2 / h1),
+            row.vendor.clone(),
+            format!("{:.0}", row.factor_h1),
+            format!("{:.0}", row.factor_h2),
+            format!("{:.2}", row.factor_h2 / row.factor_h1),
         ]);
     }
     println!("{table}");
@@ -34,4 +35,5 @@ fn main() {
          dominate the origin side, so HTTP/2 amplification factors are equal or \
          slightly *larger* — §VI-B's applicability claim."
     );
+    cli.write_json(&rows);
 }

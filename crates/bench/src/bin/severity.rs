@@ -2,20 +2,23 @@
 //! sustained SBR attack for each vendor — victim origin-egress bill, CDN
 //! traffic bill where applicable, and the attacker's own traffic.
 //!
+//! Accepts the shared harness flags (`--json`, `--threads`); output is
+//! byte-identical at any thread count.
+//!
 //! ```text
 //! cargo run -p rangeamp-bench --release --bin severity
 //! ```
 
-use rangeamp::attack::SbrAttack;
 use rangeamp::report::TextTable;
-use rangeamp::severity::{project_cost, BillingModel, CostModel};
-use rangeamp_cdn::Vendor;
+use rangeamp::severity::CostModel;
+use rangeamp_bench::BenchCli;
 
 fn main() {
-    const MB: u64 = 1024 * 1024;
+    let cli = BenchCli::parse();
     let model = CostModel::default();
     let rate = 10; // requests per second
     let hours = 1.0;
+    let rows = rangeamp_bench::severity_rows_exec(rate, hours, &model, &cli.executor());
 
     let mut table = TextTable::new(
         "Projected cost of 1 hour of SBR at 10 req/s against a 25 MB resource (illustrative list prices)",
@@ -30,22 +33,16 @@ fn main() {
             "$ per attacker GB",
         ],
     );
-    for vendor in Vendor::ALL {
-        let measurement = SbrAttack::new(vendor, 25 * MB).run();
-        let cost = project_cost(vendor, &measurement, rate, hours, &model);
-        let billing = match BillingModel::for_vendor(vendor) {
-            BillingModel::PerGb(price) => format!("${price:.3}/GB"),
-            BillingModel::FlatRate => "flat-rate".to_string(),
-        };
+    for row in &rows {
         table.row(vec![
-            vendor.name().to_string(),
-            billing,
-            format!("{:.1}", cost.origin_gb),
-            format!("{:.2}", cost.origin_egress_usd),
-            format!("{:.2}", cost.cdn_traffic_usd),
-            format!("{:.2}", cost.victim_usd()),
-            format!("{:.4}", cost.attacker_gb),
-            format!("{:.0}", cost.cost_asymmetry()),
+            row.cost.vendor.clone(),
+            row.billing.clone(),
+            format!("{:.1}", row.cost.origin_gb),
+            format!("{:.2}", row.cost.origin_egress_usd),
+            format!("{:.2}", row.cost.cdn_traffic_usd),
+            format!("{:.2}", row.cost.victim_usd()),
+            format!("{:.4}", row.cost.attacker_gb),
+            format!("{:.0}", row.cost.cost_asymmetry()),
         ]);
     }
     println!("{table}");
@@ -53,4 +50,5 @@ fn main() {
         "§V-E: \"A great monetary loss to the victims\" — one laptop-scale request \
          stream translates into hundreds of GB of billed victim traffic per hour."
     );
+    cli.write_json(&rows);
 }

@@ -13,12 +13,17 @@ pub mod paper;
 pub mod timing;
 
 use rangeamp::attack::{
-    obr_combos, FloodExperiment, FloodReport, ObrAttack, ObrMeasurement, SbrAttack,
+    obr_combos, DroppedGetAttack, FloodExperiment, FloodReport, ObrAttack, ObrMeasurement,
+    SbrAttack,
 };
 use rangeamp::chaos::{run_sbr_campaign, run_sbr_campaign_exec, ChaosConfig, VendorChaosReport};
+use rangeamp::defense_eval::{run_defense_eval, DefenseEvalConfig, DefenseScenarioReport};
 use rangeamp::executor::Executor;
+use rangeamp::mitigation::{evaluate_obr_defenses, evaluate_sbr_defenses, DefenseOutcome};
 use rangeamp::report::{group_digits, TextTable};
 use rangeamp::scanner::{Scanner, Table1Row, Table2Row, Table3Row};
+use rangeamp::severity::{project_cost, AttackCost, BillingModel, CostModel};
+use rangeamp::workload::{evaluate_detector, TinyRangeDetector, WorkloadGenerator};
 use rangeamp::{Telemetry, Testbed, TARGET_PATH};
 use rangeamp_cdn::Vendor;
 use rangeamp_origin::ResourceStore;
@@ -434,6 +439,204 @@ pub fn retry_amp_json(reports: &[VendorChaosReport]) -> serde_json::Value {
             })
             .collect(),
     )
+}
+
+/// Runs the online-defense evaluation campaign (DESIGN.md §12): all 24
+/// scenarios (13 Table IV SBR vendors + 11 Table V OBR cascades), each
+/// replayed undefended and defended as one executor unit.
+pub fn defense_eval_reports_exec(
+    config: &DefenseEvalConfig,
+    executor: &Executor,
+    seed: u64,
+) -> Vec<DefenseScenarioReport> {
+    run_defense_eval(config, executor, seed)
+}
+
+/// Renders the defense evaluation table: detection quality, enforcement
+/// ladder outcome, and victim-link traffic with/without the layer.
+pub fn render_defense_eval(reports: &[DefenseScenarioReport]) -> TextTable {
+    let mut table = TextTable::new(
+        "Online defense evaluation — mixed benign + attack workloads, defended vs undefended (DESIGN.md §12)",
+        &[
+            "scenario",
+            "case",
+            "detected",
+            "latency (ms)",
+            "precision",
+            "recall",
+            "benign blocked",
+            "peak action",
+            "victim bytes (raw)",
+            "victim bytes (defended)",
+            "residual amp",
+        ],
+    );
+    for report in reports {
+        table.row(vec![
+            report.scenario.clone(),
+            report.exploited_case.clone(),
+            report.detected.to_string(),
+            report
+                .detection_latency_ms
+                .map(|ms| ms.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            format!("{:.3}", report.precision),
+            format!("{:.3}", report.recall),
+            report.benign_requests_blocked.to_string(),
+            report.peak_action.clone(),
+            group_digits(report.undefended_victim_bytes),
+            group_digits(report.defended_victim_bytes),
+            format!("{:.2}x", report.residual_amplification),
+        ]);
+    }
+    table
+}
+
+/// One threshold point of the §VI-C naive-detector sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct DetectabilityPoint {
+    /// Tiny-range threshold in bytes.
+    pub threshold: u64,
+    /// Attack requests flagged / total attack requests.
+    pub true_positive_rate: f64,
+    /// Benign requests flagged / total benign requests.
+    pub false_positive_rate: f64,
+}
+
+/// Sweeps the naive tiny-range detector over a mixed 2000 + 2000 stream
+/// (10 MB resource). Each threshold is one executor unit regenerating
+/// the same seeded stream, so points are thread-count invariant.
+pub fn detectability_points_exec(seed: u64, executor: &Executor) -> Vec<DetectabilityPoint> {
+    const SIZE: u64 = 10 * MB;
+    let thresholds: Vec<u64> = vec![1, 16, 64, 256, 1024, 65_536];
+    executor.map(seed, thresholds, |_, threshold| {
+        let mut generator = WorkloadGenerator::new(seed, SIZE);
+        let stream = generator.mixed_stream(2_000, 2_000);
+        let report = evaluate_detector(
+            TinyRangeDetector {
+                tiny_threshold: threshold,
+            },
+            &stream,
+            SIZE,
+        );
+        DetectabilityPoint {
+            threshold,
+            true_positive_rate: report.true_positive_rate,
+            false_positive_rate: report.false_positive_rate,
+        }
+    })
+}
+
+/// Per-vendor static-mitigation outcomes (§VI-C ablations).
+#[derive(Debug, Clone, Serialize)]
+pub struct MitigationRow {
+    /// Vendor under attack.
+    pub vendor: String,
+    /// Outcomes for each defense, in evaluation order.
+    pub outcomes: Vec<DefenseOutcome>,
+}
+
+/// Runs the SBR mitigation ablation for `vendors`; one vendor per
+/// executor unit.
+pub fn sbr_mitigation_rows_exec(
+    vendors: &[Vendor],
+    resource_size: u64,
+    executor: &Executor,
+) -> Vec<MitigationRow> {
+    executor.map(0, vendors.to_vec(), |_, vendor| MitigationRow {
+        vendor: vendor.name().to_string(),
+        outcomes: evaluate_sbr_defenses(vendor, resource_size),
+    })
+}
+
+/// The OBR mitigation ablation (single cascade, one unit).
+pub fn obr_mitigation_outcomes(fcdn: Vendor, bcdn: Vendor, n: usize) -> Vec<DefenseOutcome> {
+    evaluate_obr_defenses(fcdn, bcdn, n)
+}
+
+/// One row of the §V-E severity table.
+#[derive(Debug, Clone, Serialize)]
+pub struct SeverityRow {
+    /// Billing model description (`$x/GB` or `flat-rate`).
+    pub billing: String,
+    /// Projected attack cost.
+    pub cost: AttackCost,
+}
+
+/// Projects §V-E costs for every vendor (25 MB resource, one vendor per
+/// executor unit).
+pub fn severity_rows_exec(
+    rate: u32,
+    hours: f64,
+    model: &CostModel,
+    executor: &Executor,
+) -> Vec<SeverityRow> {
+    let model = *model;
+    executor.map(0, Vendor::ALL.to_vec(), |_, vendor| {
+        let measurement = SbrAttack::new(vendor, 25 * MB).run();
+        let billing = match BillingModel::for_vendor(vendor) {
+            BillingModel::PerGb(price) => format!("${price:.3}/GB"),
+            BillingModel::FlatRate => "flat-rate".to_string(),
+        };
+        SeverityRow {
+            billing,
+            cost: project_cost(vendor, &measurement, rate, hours, &model),
+        }
+    })
+}
+
+/// One row of the §VIII dropped-GET vs SBR comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct DroppedGetRow {
+    /// Vendor.
+    pub vendor: String,
+    /// Whether the vendor keeps the back-end connection alive on abort.
+    pub keeps_backend_alive: bool,
+    /// Origin traffic for one dropped GET (defense in play).
+    pub dropped_get_origin_bytes: u64,
+    /// Whether the break-backend defense stopped the dropped GET.
+    pub defense_works: bool,
+    /// Origin traffic for one SBR round (defense irrelevant).
+    pub sbr_origin_bytes: u64,
+}
+
+/// Runs the §VIII comparison for every vendor; one vendor per unit.
+pub fn dropped_get_rows_exec(resource_size: u64, executor: &Executor) -> Vec<DroppedGetRow> {
+    executor.map(0, Vendor::ALL.to_vec(), |_, vendor| {
+        let dropped = DroppedGetAttack::new(vendor, resource_size).run();
+        let sbr = SbrAttack::new(vendor, resource_size).run();
+        DroppedGetRow {
+            vendor: vendor.name().to_string(),
+            keeps_backend_alive: dropped.keeps_backend_alive,
+            dropped_get_origin_bytes: dropped.origin_bytes,
+            defense_works: dropped.defense_effective(resource_size),
+            sbr_origin_bytes: sbr.traffic.victim_response_bytes,
+        }
+    })
+}
+
+/// One row of the §VI-B HTTP/2 applicability check.
+#[derive(Debug, Clone, Serialize)]
+pub struct H2Row {
+    /// Vendor.
+    pub vendor: String,
+    /// SBR amplification factor under HTTP/1.1 framing.
+    pub factor_h1: f64,
+    /// SBR amplification factor under HTTP/2 framing.
+    pub factor_h2: f64,
+}
+
+/// Runs the HTTP/2 framing comparison (10 MB resource); one vendor per
+/// executor unit.
+pub fn h2_rows_exec(executor: &Executor) -> Vec<H2Row> {
+    executor.map(0, Vendor::ALL.to_vec(), |_, vendor| {
+        let report = SbrAttack::new(vendor, 10 * MB).run();
+        H2Row {
+            vendor: vendor.name().to_string(),
+            factor_h1: report.amplification_factor(),
+            factor_h2: report.amplification_factor_h2(),
+        }
+    })
 }
 
 /// The flag set shared by every table/figure binary, parsed once.

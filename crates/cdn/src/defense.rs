@@ -1,0 +1,182 @@
+//! Pluggable online-defense hook for the edge pipeline (DESIGN.md §12).
+//!
+//! The RangeAmp mitigations of §VI-C are *static* policy switches: a
+//! vendor either caps expansion for everyone or for no one. A production
+//! edge instead watches traffic and reacts per client. This module
+//! defines the contract between the forwarding pipeline and such an
+//! online defense: [`EdgeNode`] consults a [`DefenseHook`] before the
+//! mitigation pre-checks and reports byte-level outcomes back after the
+//! response is assembled. The reference implementation lives in the
+//! `rangeamp-defense` crate; the edge only knows this trait.
+//!
+//! The graduated actions form the **enforcement ladder**:
+//!
+//! 1. [`Allow`](DefenseAction::Allow) — the vendor profile's own
+//!    mitigation config applies unchanged.
+//! 2. [`Deflate`](DefenseAction::Deflate) — the request is handled under
+//!    the profile's config *hardened* with `force_laziness` +
+//!    `coalesce_multi`: ranges are forwarded verbatim (no deletion or
+//!    expansion) and overlapping multi-ranges are merged first, so the
+//!    origin ships at most the bytes the client asked for, once.
+//! 3. [`Throttle`](DefenseAction::Throttle) — same transforms as
+//!    Deflate; in addition the hook's token bucket on origin-fetched
+//!    bytes is charging for this client, and an empty bucket resolves to
+//!    [`Block`](DefenseAction::Block) at decide time.
+//! 4. [`Block`](DefenseAction::Block) — the edge answers `429 Too Many
+//!    Requests` without touching cache or origin.
+//!
+//! [`EdgeNode`]: crate::EdgeNode
+
+use std::fmt;
+
+use rangeamp_http::Request;
+
+use crate::MitigationConfig;
+
+/// The request header carrying the client identity the defense keys on.
+///
+/// The emulated testbed has no TCP peer addresses, so workload and
+/// attack generators stamp each request with this header instead; edges
+/// forward it unchanged through cascades (headers are cloned onto the
+/// upstream request), which is how a BCDN-side defense still sees the
+/// originating client of an OBR chain.
+pub const CLIENT_ID_HEADER: &str = "X-Client-Id";
+
+/// Extracts the defense client key from a request: the
+/// [`CLIENT_ID_HEADER`] value, or `"-"` for unattributed traffic.
+pub fn client_key(req: &Request) -> &str {
+    req.headers().get(CLIENT_ID_HEADER).unwrap_or("-")
+}
+
+/// One rung of the enforcement ladder, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DefenseAction {
+    /// Forward under the profile's own mitigation config.
+    Allow,
+    /// Harden the profile config with laziness + coalescing transforms.
+    Deflate,
+    /// Deflate transforms plus token-bucket accounting on origin bytes.
+    Throttle,
+    /// Reject with `429` before cache or origin are touched.
+    Block,
+}
+
+impl DefenseAction {
+    /// Stable lowercase label (metrics, verdict fixtures, JSON).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DefenseAction::Allow => "allow",
+            DefenseAction::Deflate => "deflate",
+            DefenseAction::Throttle => "throttle",
+            DefenseAction::Block => "block",
+        }
+    }
+
+    /// The mitigation config the pipeline should run under for this
+    /// action, given the vendor profile's own `base` config.
+    ///
+    /// Deflate/Throttle *add* `force_laziness` and `coalesce_multi` on
+    /// top of whatever the profile already mandates; they never remove a
+    /// static mitigation. Laziness (not capped expansion) is the
+    /// actuator because a +8 KB expansion would *grow* origin traffic
+    /// for a tiny-range client — the defended run must never amplify
+    /// more than the undefended one.
+    pub fn effective_mitigation(&self, base: MitigationConfig) -> MitigationConfig {
+        match self {
+            DefenseAction::Allow => base,
+            DefenseAction::Deflate | DefenseAction::Throttle | DefenseAction::Block => {
+                MitigationConfig {
+                    force_laziness: true,
+                    coalesce_multi: true,
+                    ..base
+                }
+            }
+        }
+    }
+
+    /// Whether the action alters the pipeline at all.
+    pub fn is_enforcing(&self) -> bool {
+        !matches!(self, DefenseAction::Allow)
+    }
+}
+
+impl fmt::Display for DefenseAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Byte-level outcome of one handled request, reported to the hook
+/// after response assembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestOutcome {
+    /// Response bytes fetched from upstream *for this request* (delta on
+    /// the edge's origin-side segment meter). Zero on cache hits and
+    /// blocks.
+    pub origin_bytes: u64,
+    /// Wire bytes of the client-facing response.
+    pub client_bytes: u64,
+    /// Client-facing status code.
+    pub status: u16,
+}
+
+/// The pluggable online defense consulted by [`EdgeNode`].
+///
+/// Determinism contract: implementations must be pure functions of the
+/// observed request stream and virtual timestamps — no wall-clock, no
+/// ambient randomness — so campaigns stay byte-identical at any thread
+/// count (each campaign unit owns its own hook instance).
+///
+/// [`EdgeNode`]: crate::EdgeNode
+pub trait DefenseHook: fmt::Debug + Send + Sync {
+    /// Picks the enforcement action for `client`'s request at virtual
+    /// time `now_ms`, *before* cache lookup or upstream fetch.
+    fn decide(&self, client: &str, req: &Request, now_ms: u64) -> DefenseAction;
+
+    /// Feeds the byte-level outcome of the request back into the
+    /// detector state. Called exactly once per `decide`, including for
+    /// blocked requests (with `origin_bytes == 0`).
+    fn observe(
+        &self,
+        client: &str,
+        req: &Request,
+        action: DefenseAction,
+        outcome: &RequestOutcome,
+        now_ms: u64,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_key_reads_header_case_insensitively() {
+        let req = Request::get("/f.bin")
+            .header("Host", "victim")
+            .header("X-Client-Id", "attacker-1")
+            .build();
+        assert_eq!(client_key(&req), "attacker-1");
+        let bare = Request::get("/f.bin").header("Host", "victim").build();
+        assert_eq!(client_key(&bare), "-");
+    }
+
+    #[test]
+    fn ladder_is_ordered_by_severity() {
+        assert!(DefenseAction::Allow < DefenseAction::Deflate);
+        assert!(DefenseAction::Deflate < DefenseAction::Throttle);
+        assert!(DefenseAction::Throttle < DefenseAction::Block);
+    }
+
+    #[test]
+    fn enforcing_actions_harden_but_never_relax_mitigation() {
+        let base = MitigationConfig {
+            reject_overlapping: true,
+            ..MitigationConfig::none()
+        };
+        let hardened = DefenseAction::Deflate.effective_mitigation(base);
+        assert!(hardened.force_laziness && hardened.coalesce_multi);
+        assert!(hardened.reject_overlapping, "static mitigation preserved");
+        assert_eq!(DefenseAction::Allow.effective_mitigation(base), base);
+    }
+}

@@ -52,6 +52,7 @@
 
 mod assemble;
 mod cache;
+pub mod defense;
 mod fleet;
 mod limits;
 mod node;
@@ -61,6 +62,7 @@ mod upstream;
 pub mod vendor;
 
 pub use cache::{Cache, CachedEntry};
+pub use defense::{client_key, DefenseAction, DefenseHook, RequestOutcome, CLIENT_ID_HEADER};
 pub use fleet::{CdnFleet, IngressStrategy};
 pub use limits::{
     max_overlapping_ranges, max_overlapping_ranges_with_hop, HeaderLimits, ObrRangeCase,

@@ -5,8 +5,12 @@ use rangeamp_http::{Request, Response, StatusCode};
 use rangeamp_net::{Segment, SharedClock, SpanKind, Telemetry};
 
 use crate::assemble;
+use crate::defense::{client_key, DefenseAction, DefenseHook, RequestOutcome};
 use crate::vendor::{self, MissCtx, MissReply, MissResult, VendorProfile};
-use crate::{BreakerConfig, Cache, MultiReplyPolicy, Resilience, UpstreamError, UpstreamService};
+use crate::{
+    BreakerConfig, Cache, MitigationConfig, MultiReplyPolicy, Resilience, UpstreamError,
+    UpstreamService,
+};
 
 /// A CDN edge node: cache + vendor behaviour profile + metered upstream
 /// connection.
@@ -24,6 +28,7 @@ pub struct EdgeNode {
     segment: Segment,
     resilience: Resilience,
     telemetry: Option<Telemetry>,
+    defense: Option<Arc<dyn DefenseHook>>,
 }
 
 impl EdgeNode {
@@ -47,6 +52,7 @@ impl EdgeNode {
             segment,
             resilience,
             telemetry: None,
+            defense: None,
         }
     }
 
@@ -72,6 +78,17 @@ impl EdgeNode {
     /// metered segments are identical with and without telemetry.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> EdgeNode {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Attaches an online defense hook (DESIGN.md §12). Every request
+    /// handled afterwards is routed through
+    /// [`DefenseHook::decide`] / [`DefenseHook::observe`]: the chosen
+    /// [`DefenseAction`] hardens (never relaxes) the profile's
+    /// mitigation config for that one request, and the hook sees the
+    /// origin-side byte cost of each decision.
+    pub fn with_defense(mut self, defense: Arc<dyn DefenseHook>) -> EdgeNode {
+        self.defense = Some(defense);
         self
     }
 
@@ -191,6 +208,66 @@ impl EdgeNode {
             );
         }
 
+        // 1b. Online defense (DESIGN.md §12): ask the hook for an action,
+        //     run the pipeline under the (possibly hardened) mitigation
+        //     config it implies, then report the byte-level outcome back.
+        let Some(hook) = self.defense.clone() else {
+            return self.handle_admitted(req, backend_truncate, self.profile.mitigation);
+        };
+        let client = client_key(req).to_string();
+        let now_ms = self.resilience.clock().now_millis();
+        let action = hook.decide(&client, req, now_ms);
+        let origin_before = self.segment.stats().response_bytes;
+        let resp = if action == DefenseAction::Block {
+            self.finish(
+                Response::builder(StatusCode::TOO_MANY_REQUESTS)
+                    .header("Date", assemble::CDN_DATE)
+                    .header("X-Defense", action.as_str())
+                    .sized_body("request blocked by range-abuse defense")
+                    .build(),
+                &[],
+                "DENY",
+            )
+        } else {
+            let mitigation = action.effective_mitigation(self.profile.mitigation);
+            self.handle_admitted(req, backend_truncate, mitigation)
+        };
+        if let Some(tel) = &self.telemetry {
+            let vendor = self.profile.vendor.to_string();
+            if action.is_enforcing() {
+                let mut span = tel
+                    .tracer()
+                    .start_span("defense-action", SpanKind::Defense, now_ms);
+                span.attr("client", client.clone());
+                span.attr("action", action.as_str());
+                span.finish(now_ms);
+            }
+            tel.metrics().counter_add(
+                "defense_actions_total",
+                &[("vendor", &vendor), ("action", action.as_str())],
+                1,
+            );
+        }
+        let outcome = RequestOutcome {
+            origin_bytes: self.segment.stats().response_bytes - origin_before,
+            client_bytes: resp.wire_len(),
+            status: resp.status().as_u16(),
+        };
+        hook.observe(&client, req, action, &outcome, now_ms);
+        resp
+    }
+
+    /// Steps 2–5 of the pipeline, run under an explicit mitigation
+    /// config: the vendor profile's own config on the plain path, or the
+    /// defense-hardened one when a [`DefenseHook`] chose an enforcing
+    /// action.
+    fn handle_admitted(
+        &self,
+        req: &Request,
+        backend_truncate: Option<u64>,
+        mitigation: MitigationConfig,
+    ) -> Response {
+        let via_token = self.profile.via_token();
         let mut range = req
             .headers()
             .get("range")
@@ -198,7 +275,6 @@ impl EdgeNode {
         let size_hint = self.upstream.resource_size(req.uri().path());
 
         // 2. Mitigation pre-checks (§VI-C).
-        let mitigation = self.profile.mitigation;
         if mitigation.reject_overlapping {
             if let Some(header) = &range {
                 if header.is_multi() && header.overlapping_pairs(size_hint.unwrap_or(u64::MAX)) > 0
@@ -244,7 +320,7 @@ impl EdgeNode {
                 let resp = assemble::serve_from_full(
                     range.as_ref(),
                     &entry.response,
-                    self.effective_multi_reply(),
+                    self.effective_multi_reply(mitigation),
                 );
                 return self.finish(resp, &[], "HIT");
             }
@@ -264,7 +340,7 @@ impl EdgeNode {
             resilience: &self.resilience,
             telemetry: self.telemetry.as_ref(),
         };
-        let outcome = self.handle_miss_with_mitigation(&mut ctx);
+        let outcome = self.handle_miss_with_mitigation(&mut ctx, mitigation);
 
         // 5. Assemble the client-facing response. An upstream failure
         //    that survived the retry policy becomes a 502/504.
@@ -285,7 +361,7 @@ impl EdgeNode {
                             assemble::serve_from_full(
                                 range.as_ref(),
                                 &upstream_resp,
-                                self.effective_multi_reply(),
+                                self.effective_multi_reply(mitigation),
                             )
                         } else {
                             upstream_resp
@@ -299,7 +375,7 @@ impl EdgeNode {
                             assemble::serve_from_full(
                                 range.as_ref(),
                                 &full,
-                                self.effective_multi_reply(),
+                                self.effective_multi_reply(mitigation),
                             )
                         } else {
                             full // propagate origin errors (404 etc.)
@@ -335,7 +411,7 @@ impl EdgeNode {
                 let mut stale = assemble::serve_from_full(
                     range.as_ref(),
                     &entry.response,
-                    self.effective_multi_reply(),
+                    self.effective_multi_reply(mitigation),
                 );
                 stale
                     .headers_mut()
@@ -349,8 +425,8 @@ impl EdgeNode {
     fn handle_miss_with_mitigation(
         &self,
         ctx: &mut MissCtx<'_>,
+        mitigation: MitigationConfig,
     ) -> Result<MissResult, UpstreamError> {
-        let mitigation = self.profile.mitigation;
         if mitigation.force_laziness {
             return vendor::laziness(ctx);
         }
@@ -416,8 +492,8 @@ impl EdgeNode {
         )
     }
 
-    fn effective_multi_reply(&self) -> MultiReplyPolicy {
-        if self.profile.mitigation.coalesce_multi {
+    fn effective_multi_reply(&self, mitigation: MitigationConfig) -> MultiReplyPolicy {
+        if mitigation.coalesce_multi {
             MultiReplyPolicy::Coalesce
         } else {
             self.profile.multi_reply
@@ -748,5 +824,46 @@ mod tests {
         let header = RangeHeader::parse("bytes=0-10,5-20").unwrap();
         let merged = coalesce_header(&header, 1000);
         assert_eq!(merged.to_string(), "bytes=0-20");
+    }
+
+    #[test]
+    fn capped_expansion_adds_exactly_8k() {
+        // §VI-C pin: the "better way" expands the requested range by
+        // *exactly* the 8 KB cap (mid-file, so EOF clamping is out of
+        // play) — never more, never less.
+        let profile = Vendor::Akamai
+            .profile()
+            .with_mitigation(MitigationConfig::capped_expansion_8k());
+        let (edge, segment) = testbed_with_profile(profile, MB);
+        let resp = edge.handle(&sbr_request("bytes=4096-5119", 1));
+        assert_eq!(resp.status(), StatusCode::PARTIAL_CONTENT);
+        assert_eq!(resp.body().len(), 1024, "client gets what they asked");
+        assert_eq!(
+            segment.capture().forwarded_ranges(),
+            vec![Some("bytes=4096-13311".to_string())],
+            "5119 + 8192 = 13311: requested span + exactly 8 KB"
+        );
+        let requested = 5119 - 4096 + 1;
+        let expanded = 13311 - 4096 + 1;
+        assert_eq!(expanded - requested, 8 * 1024);
+    }
+
+    #[test]
+    fn coalesce_header_is_idempotent() {
+        // §VI-C pin: coalescing is a projection —
+        // coalesce(coalesce(r)) == coalesce(r) for every range shape.
+        for text in [
+            "bytes=0-,0-,0-",
+            "bytes=0-10,5-20,40-50",
+            "bytes=0-0,2-2,4-4",
+            "bytes=-500,0-100",
+            "bytes=999-,0-10",
+            "bytes=0-999",
+        ] {
+            let header = RangeHeader::parse(text).unwrap();
+            let once = coalesce_header(&header, 1000);
+            let twice = coalesce_header(&once, 1000);
+            assert_eq!(twice, once, "{text}");
+        }
     }
 }

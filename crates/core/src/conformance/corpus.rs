@@ -17,6 +17,12 @@ pub fn load_dir(dir: &Path) -> io::Result<Vec<(String, CorpusEntry)>> {
     let mut names: Vec<PathBuf> = fs::read_dir(dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| p.extension().is_some_and(|ext| ext == "txt"))
+        // `defense-*.txt` fixtures share the corpus directory but use the
+        // replay format of `rangeamp_defense::replay`, not `CorpusEntry`.
+        .filter(|p| {
+            !p.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("defense-"))
+        })
         .collect();
     names.sort();
     let mut entries = Vec::with_capacity(names.len());

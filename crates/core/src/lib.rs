@@ -24,6 +24,9 @@
 //!   defenses; [`severity`] projects the monetary damage (§V-E);
 //!   [`workload`] generates benign range traffic for the §VI-C
 //!   detectability analysis.
+//! * [`defense_eval`] evaluates the online detection-and-enforcement
+//!   layer of [`rangeamp_defense`] against mixed benign + Table IV/V
+//!   attack workloads (DESIGN.md §12).
 //! * [`executor::Executor`] shards every campaign across OS threads
 //!   with byte-identical output at any `--threads N` (DESIGN.md §8).
 //! * [`conformance`] cross-checks the whole range-rewrite pipeline
@@ -49,6 +52,7 @@ pub mod amplification;
 pub mod attack;
 pub mod chaos;
 pub mod conformance;
+pub mod defense_eval;
 pub mod executor;
 pub mod mitigation;
 pub mod report;
@@ -65,6 +69,7 @@ pub use testbed::{CascadeTestbed, Testbed, TestbedBuilder, TARGET_HOST, TARGET_P
 // Re-export the substrate crates so downstream users need only one
 // dependency.
 pub use rangeamp_cdn as cdn;
+pub use rangeamp_defense as defense;
 pub use rangeamp_http as http;
 pub use rangeamp_net as net;
 pub use rangeamp_origin as origin;

@@ -3,8 +3,8 @@
 use std::sync::Arc;
 
 use rangeamp_cdn::{
-    BreakerConfig, Cache, ClockedOrigin, EdgeNode, FaultyUpstream, Resilience, UpstreamService,
-    Vendor, VendorProfile,
+    BreakerConfig, Cache, ClockedOrigin, DefenseHook, EdgeNode, FaultyUpstream, Resilience,
+    UpstreamService, Vendor, VendorProfile,
 };
 use rangeamp_http::{Request, Response};
 use rangeamp_net::metrics::{FACTOR_BUCKETS, LATENCY_BUCKETS_MS};
@@ -186,6 +186,7 @@ pub struct TestbedBuilder {
     breaker: Option<BreakerConfig>,
     cache_ttl_ms: Option<u64>,
     telemetry: Option<Telemetry>,
+    defense: Option<Arc<dyn DefenseHook>>,
 }
 
 impl Default for TestbedBuilder {
@@ -203,6 +204,7 @@ impl Default for TestbedBuilder {
             breaker: None,
             cache_ttl_ms: None,
             telemetry: None,
+            defense: None,
         }
     }
 }
@@ -278,6 +280,14 @@ impl TestbedBuilder {
         self
     }
 
+    /// Attaches an online defense hook to the edge: it is consulted for
+    /// an enforcement action before every admitted request and observes
+    /// the per-request origin/client byte outcome (DESIGN.md §12).
+    pub fn defense(mut self, hook: Arc<dyn DefenseHook>) -> TestbedBuilder {
+        self.defense = Some(hook);
+        self
+    }
+
     /// Wires everything together.
     pub fn build(self) -> Testbed {
         let store = match self.prebuilt_store {
@@ -319,6 +329,9 @@ impl TestbedBuilder {
         };
         if let Some(tel) = self.telemetry {
             edge = edge.with_telemetry(tel);
+        }
+        if let Some(hook) = self.defense {
+            edge = edge.with_defense(hook);
         }
         // Both segments stamp captures off the edge's clock, so client-
         // and origin-side captures interleave into one timeline.
@@ -391,6 +404,34 @@ impl CascadeTestbed {
         if let Some(tel) = &telemetry {
             fcdn = fcdn.with_telemetry(tel.clone());
         }
+        CascadeTestbed::assemble(fcdn, bcdn_node, origin)
+    }
+
+    /// Cascade with an online defense hook on the FCDN — the edge whose
+    /// origin-facing segment (`fcdn-bcdn`) is the OBR victim link. Both
+    /// edges share one virtual clock so the defense's sliding windows
+    /// advance consistently across the cascade; the client id header is
+    /// forwarded upstream wholesale, so the BCDN could attach its own
+    /// hook the same way.
+    pub fn with_profiles_defense(
+        fcdn_profile: VendorProfile,
+        bcdn_profile: VendorProfile,
+        size: u64,
+        defense: Arc<dyn DefenseHook>,
+    ) -> CascadeTestbed {
+        let origin = Arc::new(CascadeTestbed::cascade_origin(size, None));
+        let clock = SharedClock::new();
+        let bcdn_segment = Segment::new(SegmentName::BcdnOrigin);
+        let bcdn_resilience =
+            Resilience::new(bcdn_profile.retry, BreakerConfig::default(), clock.clone());
+        let bcdn = EdgeNode::new(bcdn_profile, origin.clone(), bcdn_segment)
+            .with_resilience(bcdn_resilience);
+        let bcdn_node = Arc::new(bcdn);
+        let fcdn_segment = Segment::new(SegmentName::FcdnBcdn);
+        let fcdn_resilience = Resilience::new(fcdn_profile.retry, BreakerConfig::default(), clock);
+        let fcdn = EdgeNode::new(fcdn_profile, bcdn_node.clone(), fcdn_segment)
+            .with_resilience(fcdn_resilience)
+            .with_defense(defense);
         CascadeTestbed::assemble(fcdn, bcdn_node, origin)
     }
 

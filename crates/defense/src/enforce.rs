@@ -1,0 +1,482 @@
+//! Graduated enforcement: the [`DefenseLayer`] middleware.
+//!
+//! The layer implements [`DefenseHook`] and owns one
+//! [`ClientDetector`] per client key. Detector verdicts drive a
+//! per-client rung on the enforcement ladder
+//! (allow → deflate → throttle → block, see
+//! [`DefenseAction`]):
+//!
+//! * the **first** suspect verdict lifts the client to *Deflate* —
+//!   requests still flow, but under laziness + coalescing transforms
+//!   the origin ships at most what the client asked for;
+//! * `throttle_after` suspect verdicts arm the per-client **token
+//!   bucket** on origin-fetched bytes; a request arriving to an empty
+//!   bucket is blocked;
+//! * `block_after` suspect verdicts pin the client at **Block**;
+//! * windows that close without a single suspect verdict are *calm*;
+//!   `calm_windows` consecutive calm windows walk the client one rung
+//!   back down and discharge the change-point evidence.
+//!
+//! Determinism: all state advances only on `decide`/`observe` calls
+//! with caller-provided virtual timestamps. A layer driven twice with
+//! the same request schedule produces identical reports.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use rangeamp_cdn::{DefenseAction, DefenseHook, RequestOutcome};
+use rangeamp_http::Request;
+
+use crate::detector::{ClientDetector, DetectorConfig, Verdict};
+use crate::features::RequestSample;
+
+/// Enforcement-ladder parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnforceConfig {
+    /// Detector thresholds.
+    pub detector: DetectorConfig,
+    /// Suspect verdicts after which the token bucket arms (Throttle).
+    pub throttle_after: u64,
+    /// Suspect verdicts after which the client is pinned at Block.
+    pub block_after: u64,
+    /// Token-bucket capacity, in origin-fetched bytes.
+    pub bucket_capacity: u64,
+    /// Token-bucket refill rate, in origin bytes per virtual second.
+    pub bucket_refill_per_sec: u64,
+    /// Consecutive calm windows that earn one rung of de-escalation.
+    pub calm_windows: u64,
+    /// Shadow mode: detect and report but always answer Allow (used to
+    /// measure detection quality without enforcement side effects).
+    pub shadow: bool,
+}
+
+impl Default for EnforceConfig {
+    fn default() -> EnforceConfig {
+        EnforceConfig {
+            detector: DetectorConfig::default(),
+            throttle_after: 8,
+            block_after: 16,
+            bucket_capacity: 128 * 1024,
+            bucket_refill_per_sec: 16 * 1024,
+            calm_windows: 2,
+            shadow: false,
+        }
+    }
+}
+
+/// Deterministic token bucket over virtual time (integer arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenBucket {
+    capacity: u64,
+    refill_per_sec: u64,
+    level: u64,
+    last_ms: u64,
+}
+
+impl TokenBucket {
+    /// A full bucket.
+    pub fn new(capacity: u64, refill_per_sec: u64, now_ms: u64) -> TokenBucket {
+        TokenBucket {
+            capacity,
+            refill_per_sec,
+            level: capacity,
+            last_ms: now_ms,
+        }
+    }
+
+    /// Refills for elapsed virtual time and returns the current level.
+    pub fn level_at(&mut self, now_ms: u64) -> u64 {
+        let elapsed = now_ms.saturating_sub(self.last_ms);
+        if elapsed > 0 {
+            let refill = elapsed.saturating_mul(self.refill_per_sec) / 1_000;
+            self.level = (self.level + refill).min(self.capacity);
+            self.last_ms = now_ms;
+        }
+        self.level
+    }
+
+    /// Consumes up to `cost` tokens (saturating at zero).
+    pub fn consume(&mut self, cost: u64, now_ms: u64) {
+        self.level_at(now_ms);
+        self.level = self.level.saturating_sub(cost);
+    }
+}
+
+/// Cumulative per-client statistics, exported for evaluation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClientReport {
+    /// The client key.
+    pub client: String,
+    /// Total requests decided.
+    pub requests: u64,
+    /// Requests per action taken.
+    pub allowed: u64,
+    /// Requests handled under Deflate.
+    pub deflated: u64,
+    /// Requests handled under Throttle.
+    pub throttled: u64,
+    /// Requests answered 429.
+    pub blocked: u64,
+    /// Suspect verdicts accumulated.
+    pub suspects: u64,
+    /// Origin-side bytes across all requests.
+    pub origin_bytes: u64,
+    /// Client-facing response bytes across all requests.
+    pub client_bytes: u64,
+    /// Client request wire bytes across all requests.
+    pub request_bytes: u64,
+    /// Origin bytes on requests handled under an enforcing action.
+    pub enforced_origin_bytes: u64,
+    /// Request wire bytes on requests handled under an enforcing action.
+    pub enforced_request_bytes: u64,
+    /// Virtual time of the first suspect verdict.
+    pub first_flag_ms: Option<u64>,
+    /// The most severe action ever taken for this client.
+    pub peak_action: Option<DefenseAction>,
+    /// Most recent verdict.
+    pub last_verdict: Option<Verdict>,
+}
+
+impl ClientReport {
+    /// Residual amplification while enforcement was active: origin
+    /// bytes fetched per request byte the client spent, over enforced
+    /// requests only. Zero before any enforcement.
+    pub fn residual_amplification(&self) -> f64 {
+        if self.enforced_request_bytes == 0 {
+            0.0
+        } else {
+            self.enforced_origin_bytes as f64 / self.enforced_request_bytes as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ClientState {
+    detector: ClientDetector,
+    rung: DefenseAction,
+    bucket: Option<TokenBucket>,
+    calm_streak: u64,
+    report: ClientReport,
+}
+
+impl ClientState {
+    fn new(config: &EnforceConfig, client: &str) -> ClientState {
+        ClientState {
+            detector: ClientDetector::new(config.detector),
+            rung: DefenseAction::Allow,
+            bucket: None,
+            calm_streak: 0,
+            report: ClientReport {
+                client: client.to_string(),
+                ..ClientReport::default()
+            },
+        }
+    }
+}
+
+/// The pluggable online defense: detectors + enforcement ladder.
+///
+/// Attach to an edge with
+/// [`EdgeNode::with_defense`](rangeamp_cdn::EdgeNode::with_defense).
+/// One layer instance per campaign unit — state is per-layer, and the
+/// determinism contract of [`DefenseHook`] forbids sharing a layer
+/// across concurrently-driven testbeds.
+#[derive(Debug)]
+pub struct DefenseLayer {
+    config: EnforceConfig,
+    clients: Mutex<BTreeMap<String, ClientState>>,
+}
+
+impl Default for DefenseLayer {
+    fn default() -> DefenseLayer {
+        DefenseLayer::new(EnforceConfig::default())
+    }
+}
+
+impl DefenseLayer {
+    /// A fresh layer.
+    pub fn new(config: EnforceConfig) -> DefenseLayer {
+        DefenseLayer {
+            config,
+            clients: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A detect-only layer: verdicts and reports accumulate but every
+    /// decision is Allow.
+    pub fn shadow() -> DefenseLayer {
+        DefenseLayer::new(EnforceConfig {
+            shadow: true,
+            ..EnforceConfig::default()
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> EnforceConfig {
+        self.config
+    }
+
+    /// Snapshot of every client's report, ordered by client key.
+    pub fn report(&self) -> Vec<ClientReport> {
+        self.clients
+            .lock()
+            .values()
+            .map(|state| state.report.clone())
+            .collect()
+    }
+
+    /// Snapshot of one client's report.
+    pub fn client_report(&self, client: &str) -> Option<ClientReport> {
+        self.clients
+            .lock()
+            .get(client)
+            .map(|state| state.report.clone())
+    }
+
+    /// The enforcement rung a client currently sits on.
+    pub fn client_rung(&self, client: &str) -> DefenseAction {
+        self.clients
+            .lock()
+            .get(client)
+            .map_or(DefenseAction::Allow, |state| state.rung)
+    }
+
+    fn escalate(state: &mut ClientState, config: &EnforceConfig, now_ms: u64) {
+        state.calm_streak = 0;
+        let suspects = state.report.suspects;
+        let target = if suspects >= config.block_after {
+            DefenseAction::Block
+        } else if suspects >= config.throttle_after {
+            DefenseAction::Throttle
+        } else {
+            DefenseAction::Deflate
+        };
+        if target > state.rung {
+            state.rung = target;
+        }
+        if state.rung == DefenseAction::Throttle && state.bucket.is_none() {
+            state.bucket = Some(TokenBucket::new(
+                config.bucket_capacity,
+                config.bucket_refill_per_sec,
+                now_ms,
+            ));
+        }
+    }
+
+    fn deescalate(state: &mut ClientState) {
+        state.rung = match state.rung {
+            DefenseAction::Block => DefenseAction::Throttle,
+            DefenseAction::Throttle => DefenseAction::Deflate,
+            DefenseAction::Deflate | DefenseAction::Allow => {
+                state.detector.relax();
+                DefenseAction::Allow
+            }
+        };
+        if state.rung < DefenseAction::Throttle {
+            state.bucket = None;
+        }
+        state.calm_streak = 0;
+    }
+}
+
+impl DefenseHook for DefenseLayer {
+    fn decide(&self, client: &str, _req: &Request, now_ms: u64) -> DefenseAction {
+        let mut clients = self.clients.lock();
+        let state = clients
+            .entry(client.to_string())
+            .or_insert_with(|| ClientState::new(&self.config, client));
+        if self.config.shadow {
+            return DefenseAction::Allow;
+        }
+        match state.rung {
+            DefenseAction::Throttle => {
+                let empty = state
+                    .bucket
+                    .as_mut()
+                    .is_some_and(|bucket| bucket.level_at(now_ms) == 0);
+                if empty {
+                    DefenseAction::Block
+                } else {
+                    DefenseAction::Throttle
+                }
+            }
+            rung => rung,
+        }
+    }
+
+    fn observe(
+        &self,
+        client: &str,
+        req: &Request,
+        action: DefenseAction,
+        outcome: &RequestOutcome,
+        now_ms: u64,
+    ) {
+        let sample = RequestSample::of(req);
+        let mut clients = self.clients.lock();
+        let state = clients
+            .entry(client.to_string())
+            .or_insert_with(|| ClientState::new(&self.config, client));
+
+        state.report.requests += 1;
+        match action {
+            DefenseAction::Allow => state.report.allowed += 1,
+            DefenseAction::Deflate => state.report.deflated += 1,
+            DefenseAction::Throttle => state.report.throttled += 1,
+            DefenseAction::Block => state.report.blocked += 1,
+        }
+        state.report.origin_bytes += outcome.origin_bytes;
+        state.report.client_bytes += outcome.client_bytes;
+        state.report.request_bytes += sample.request_bytes;
+        if action.is_enforcing() {
+            state.report.enforced_origin_bytes += outcome.origin_bytes;
+            state.report.enforced_request_bytes += sample.request_bytes;
+        }
+        state.report.peak_action = Some(state.report.peak_action.map_or(action, |p| p.max(action)));
+
+        if action == DefenseAction::Throttle {
+            if let Some(bucket) = state.bucket.as_mut() {
+                bucket.consume(outcome.origin_bytes, now_ms);
+            }
+        }
+
+        let observation =
+            state
+                .detector
+                .observe(&sample, outcome.origin_bytes, outcome.client_bytes, now_ms);
+        state.report.last_verdict = Some(observation.verdict);
+
+        if let Some(window) = observation.closed_window {
+            if window.suspects == 0 {
+                state.calm_streak += 1;
+                if state.calm_streak >= self.config.calm_windows {
+                    Self::deescalate(state);
+                }
+            } else {
+                state.calm_streak = 0;
+            }
+        }
+
+        if observation.verdict.class.is_suspect() {
+            state.report.suspects += 1;
+            if state.report.first_flag_ms.is_none() {
+                state.report.first_flag_ms = Some(now_ms);
+            }
+            if !self.config.shadow {
+                Self::escalate(state, &self.config, now_ms);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attack_request(rnd: u64) -> Request {
+        Request::get(&format!("/t.bin?rnd={rnd}"))
+            .header("Host", "victim")
+            .header("X-Client-Id", "mallory")
+            .header("Range", "bytes=0-0")
+            .build()
+    }
+
+    fn benign_request() -> Request {
+        Request::get("/t.bin")
+            .header("Host", "victim")
+            .header("X-Client-Id", "alice")
+            .build()
+    }
+
+    fn drive(layer: &DefenseLayer, req: &Request, origin: u64, client_bytes: u64, now: u64) {
+        let key = rangeamp_cdn::client_key(req).to_string();
+        let action = layer.decide(&key, req, now);
+        let outcome = RequestOutcome {
+            origin_bytes: if action == DefenseAction::Block {
+                0
+            } else {
+                origin
+            },
+            client_bytes,
+            status: 206,
+        };
+        layer.observe(&key, req, action, &outcome, now);
+    }
+
+    #[test]
+    fn ladder_escalates_to_block_under_sustained_attack() {
+        let layer = DefenseLayer::default();
+        for i in 0..40u64 {
+            drive(&layer, &attack_request(i), 1_000_000, 700, i * 100);
+        }
+        let report = layer.client_report("mallory").expect("tracked");
+        assert_eq!(layer.client_rung("mallory"), DefenseAction::Block);
+        assert!(report.blocked > 0, "bucket drained into blocks");
+        assert!(report.first_flag_ms.is_some());
+        assert_eq!(report.peak_action, Some(DefenseAction::Block));
+    }
+
+    #[test]
+    fn benign_client_rides_allow_forever() {
+        let layer = DefenseLayer::default();
+        for i in 0..100u64 {
+            drive(&layer, &benign_request(), 0, 1_000_000, i * 250);
+        }
+        let report = layer.client_report("alice").expect("tracked");
+        assert_eq!(report.allowed, 100);
+        assert_eq!(report.blocked, 0);
+        assert_eq!(report.suspects, 0);
+        assert_eq!(layer.client_rung("alice"), DefenseAction::Allow);
+    }
+
+    #[test]
+    fn calm_windows_deescalate_one_rung_at_a_time() {
+        let config = EnforceConfig::default();
+        let window = config.detector.features.window_ms;
+        let layer = DefenseLayer::new(config);
+        // Burst to Deflate…
+        for i in 0..4u64 {
+            drive(&layer, &attack_request(i), 1_000_000, 700, i * 10);
+        }
+        assert!(layer.client_rung("mallory") >= DefenseAction::Deflate);
+        // …then go quiet and benign for several windows.
+        let benign_as_mallory = Request::get("/t.bin")
+            .header("Host", "victim")
+            .header("X-Client-Id", "mallory")
+            .build();
+        for w in 1..=6u64 {
+            drive(&layer, &benign_as_mallory, 0, 1_000, w * window + 1);
+        }
+        assert_eq!(layer.client_rung("mallory"), DefenseAction::Allow);
+    }
+
+    #[test]
+    fn shadow_mode_reports_without_enforcing() {
+        let layer = DefenseLayer::shadow();
+        for i in 0..20u64 {
+            drive(&layer, &attack_request(i), 1_000_000, 700, i * 100);
+        }
+        let report = layer.client_report("mallory").expect("tracked");
+        assert_eq!(report.allowed, 20, "shadow never enforces");
+        assert!(report.suspects > 0, "…but it still detects");
+        assert!(report.first_flag_ms.is_some());
+    }
+
+    #[test]
+    fn token_bucket_refills_on_virtual_time() {
+        let mut bucket = TokenBucket::new(1_000, 100, 0);
+        bucket.consume(1_000, 0);
+        assert_eq!(bucket.level_at(0), 0);
+        assert_eq!(bucket.level_at(5_000), 500, "100 B/s for 5 s");
+        assert_eq!(bucket.level_at(60_000), 1_000, "capped at capacity");
+    }
+
+    #[test]
+    fn reports_are_ordered_by_client_key() {
+        let layer = DefenseLayer::default();
+        drive(&layer, &benign_request(), 0, 1_000, 0);
+        drive(&layer, &attack_request(0), 1_000, 700, 0);
+        let clients: Vec<String> = layer.report().into_iter().map(|r| r.client).collect();
+        assert_eq!(clients, vec!["alice".to_string(), "mallory".to_string()]);
+    }
+}

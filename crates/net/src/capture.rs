@@ -110,6 +110,18 @@ impl CaptureEntry {
     pub fn is_truncated(&self) -> bool {
         self.delivered_len.is_some()
     }
+
+    /// The query string of a captured request's target, if any — the
+    /// cache-busting observable online defenses key on (`?rnd=…` churn,
+    /// paper §II-A). `None` for responses and query-less requests.
+    pub fn query(&self) -> Option<&str> {
+        if self.direction != Direction::Upstream {
+            return None;
+        }
+        let target = self.start_line.split(' ').nth(1)?;
+        let (_, query) = target.split_once('?')?;
+        Some(query)
+    }
 }
 
 /// An append-only log of captured messages on one segment.
@@ -165,6 +177,30 @@ impl CaptureLog {
     /// Entries whose delivery was aborted mid-transfer.
     pub fn truncated_entries(&self) -> Vec<&CaptureEntry> {
         self.entries.iter().filter(|e| e.is_truncated()).collect()
+    }
+
+    /// Entries captured in the half-open virtual-time window
+    /// `[from_ms, to_ms)` — the slicing primitive behind sliding-window
+    /// feature extraction (DESIGN.md §12).
+    pub fn in_window(&self, from_ms: u64, to_ms: u64) -> Vec<&CaptureEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.at_millis >= from_ms && e.at_millis < to_ms)
+            .collect()
+    }
+
+    /// The number of distinct query strings across captured upstream
+    /// requests — cache-busting churn: benign clients reuse a stable URL
+    /// while RangeAmp attackers randomise the query per request.
+    pub fn distinct_queries(&self) -> usize {
+        let mut seen: Vec<&str> = self
+            .entries
+            .iter()
+            .filter_map(CaptureEntry::query)
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
     }
 
     /// Total response bytes captured.
@@ -348,6 +384,39 @@ mod tests {
         log.push(CaptureEntry::of_request_at(&req, 1_250));
         let trace = log.render();
         assert!(trace.contains("[t=1.250s] -> GET /f HTTP/1.1"), "{trace}");
+    }
+
+    #[test]
+    fn query_extraction_and_churn_counting() {
+        let mut log = CaptureLog::new();
+        for rnd in [1, 2, 2, 3] {
+            log.push(CaptureEntry::of_request(
+                &Request::get(&format!("/f.bin?rnd={rnd}")).build(),
+            ));
+        }
+        log.push(CaptureEntry::of_request(
+            &Request::get("/plain.bin").build(),
+        ));
+        log.push(CaptureEntry::of_response(
+            &Response::builder(StatusCode::OK)
+                .sized_body(vec![0])
+                .build(),
+        ));
+        assert_eq!(log.entries()[0].query(), Some("rnd=1"));
+        assert_eq!(log.entries()[4].query(), None, "query-less request");
+        assert_eq!(log.entries()[5].query(), None, "responses have no query");
+        assert_eq!(log.distinct_queries(), 3);
+    }
+
+    #[test]
+    fn window_slicing_is_half_open() {
+        let mut log = CaptureLog::new();
+        for at in [0, 999, 1000, 1500, 2000] {
+            log.push(CaptureEntry::of_request_at(&Request::get("/f").build(), at));
+        }
+        let window = log.in_window(1000, 2000);
+        assert_eq!(window.len(), 2);
+        assert!(window.iter().all(|e| (1000..2000).contains(&e.at_millis)));
     }
 
     #[test]

@@ -89,6 +89,9 @@ pub enum SpanKind {
     ServeStale,
     /// Server-side handling at the origin.
     Origin,
+    /// An enforcing online-defense action (deflate/throttle/block) taken
+    /// by an edge's defense middleware (DESIGN.md §12).
+    Defense,
 }
 
 impl SpanKind {
@@ -103,6 +106,7 @@ impl SpanKind {
             SpanKind::BreakerTransition => "breaker",
             SpanKind::ServeStale => "serve-stale",
             SpanKind::Origin => "origin",
+            SpanKind::Defense => "defense",
         }
     }
 }

@@ -1,0 +1,91 @@
+//! Golden detector-verdict fixtures (`tests/corpus/defense-*.txt`):
+//! three committed traces — benign-heavy, SBR burst, OBR cascade — are
+//! replayed through a fresh [`rangeamp_defense::DefenseLayer`] under the
+//! default config on every run, and the rendered verdict stream must
+//! match the fixture byte for byte. A threshold, feature-window, or
+//! ladder change shows up as a readable line diff; regenerate a fixture
+//! by pasting the "full actual stream" section from the failure.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rangeamp_defense::{check_fixture, parse_fixture, VERDICT_SEPARATOR};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+fn load(name: &str) -> String {
+    let path = corpus_dir().join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn check(name: &str) -> String {
+    let text = load(name);
+    check_fixture(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    text
+}
+
+/// The expected verdict lines of an already-validated fixture.
+fn verdicts(text: &str) -> Vec<String> {
+    let (_, expected) = parse_fixture(text).expect("fixture parses");
+    assert!(
+        text.contains(VERDICT_SEPARATOR) && !expected.is_empty(),
+        "fixture must commit a golden verdict section"
+    );
+    expected
+}
+
+#[test]
+fn benign_heavy_trace_matches_golden_verdicts() {
+    let text = check("defense-benign-heavy.txt");
+    // A benign-only mix must never leave the bottom of the ladder.
+    for line in verdicts(&text) {
+        assert!(
+            line.contains("class=benign"),
+            "benign trace flagged: {line}"
+        );
+        assert!(
+            line.contains("action=allow"),
+            "benign trace enforced: {line}"
+        );
+    }
+}
+
+#[test]
+fn sbr_burst_trace_matches_golden_verdicts() {
+    let text = check("defense-sbr-burst.txt");
+    let lines = verdicts(&text);
+    // The burst must be classified as SBR and climb the whole ladder
+    // while the interleaved benign client stays untouched.
+    assert!(lines
+        .iter()
+        .any(|l| l.contains("client=mallory") && l.contains("class=sbr-suspect")));
+    assert!(lines
+        .iter()
+        .any(|l| l.contains("client=mallory") && l.contains("action=block")));
+    for line in lines.iter().filter(|l| l.contains("client=alice")) {
+        assert!(
+            line.contains("action=allow"),
+            "benign bystander enforced: {line}"
+        );
+    }
+}
+
+#[test]
+fn obr_cascade_trace_matches_golden_verdicts() {
+    let text = check("defense-obr-cascade.txt");
+    let lines = verdicts(&text);
+    // Overlap multiplicity flags the very first multi-range request.
+    let first_mallory = lines
+        .iter()
+        .find(|l| l.contains("client=mallory"))
+        .expect("attacker appears in trace");
+    assert!(
+        first_mallory.contains("class=obr-suspect"),
+        "OBR shape must be flagged on sight: {first_mallory}"
+    );
+    assert!(lines
+        .iter()
+        .any(|l| l.contains("client=mallory") && l.contains("action=block")));
+}
